@@ -1,0 +1,61 @@
+//! Smoke-scale Criterion coverage of every figure pipeline, so that
+//! `cargo bench` exercises each table/figure harness end to end (the
+//! full-scale series are produced by the `fig*` and `repro_all` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dls_bench::figures::{fig08, fig09, fig10_13, fig14};
+use dls_bench::SweepConfig;
+use std::hint::black_box;
+
+fn smoke_cfg() -> SweepConfig {
+    SweepConfig {
+        sizes: vec![80],
+        platforms: 3,
+        total_units: 100,
+        base_seed: 0xBEEF,
+    }
+}
+
+fn bench_fig08(c: &mut Criterion) {
+    c.bench_function("figures/fig08_linearity", |b| {
+        b.iter(|| black_box(fig08::run(1).workers.len()))
+    });
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    c.bench_function("figures/fig09_trace", |b| {
+        b.iter(|| black_box(fig09::run(200, 100, 1).participants))
+    });
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    let cfg = smoke_cfg();
+    let mut group = c.benchmark_group("figures/sweeps");
+    group.sample_size(10);
+    for (name, variant) in [
+        ("fig10_homogeneous", fig10_13::fig10_variant()),
+        ("fig11_hetero_compute", fig10_13::fig11_variant()),
+        ("fig12_hetero_star", fig10_13::fig12_variant()),
+        ("fig13a_fast_compute", fig10_13::fig13a_variant()),
+        ("fig13b_fast_comm", fig10_13::fig13b_variant()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(fig10_13::run(&variant, &cfg).rows.len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig14");
+    group.sample_size(10);
+    for x in [1.0, 3.0] {
+        group.bench_function(format!("x{x}"), |b| {
+            b.iter(|| black_box(fig14::run(x, 400, 100, 1).rows.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig08, bench_fig09, bench_sweeps, bench_fig14);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion benchmarks of the discrete-event executor: events/second and
+//! the cost of noise models, plus the sends-then-receives vs interleaved
+//! master-policy ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_core::prelude::*;
+use dls_platform::{Heterogeneity, Platform, PlatformSampler};
+use dls_sim::{simulate, MasterPolicy, RealismModel, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn star(workers: usize, seed: u64) -> Platform {
+    let sampler = PlatformSampler {
+        workers,
+        comm: Heterogeneity::PerWorker,
+        comp: Heterogeneity::PerWorker,
+        factor_range: (1.0, 10.0),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    sampler.sample_abstract(5.0, 0.5, &mut rng)
+}
+
+fn bench_executor_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/executor");
+    for p in [8usize, 32, 128, 512] {
+        let platform = star(p, 1);
+        let order = platform.order_by_c();
+        let sched = solve_fifo(&platform, &order, PortModel::OnePort)
+            .unwrap()
+            .schedule;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(p),
+            &(platform, sched),
+            |b, (pf, s)| b.iter(|| black_box(simulate(pf, s, &SimConfig::ideal()).makespan)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_noise_models(c: &mut Criterion) {
+    let platform = star(32, 2);
+    let order = platform.order_by_c();
+    let sched = solve_fifo(&platform, &order, PortModel::OnePort)
+        .unwrap()
+        .schedule;
+    let mut group = c.benchmark_group("simulator/noise");
+    for (name, realism) in [
+        ("ideal", RealismModel::ideal()),
+        ("gaussian3pct", RealismModel::cluster_jitter()),
+        ("cache200", RealismModel::cluster_with_cache_effects(200)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    simulate(
+                        &platform,
+                        &sched,
+                        &SimConfig {
+                            realism,
+                            seed: 3,
+                            ..SimConfig::ideal()
+                        },
+                    )
+                    .makespan,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_master_policies(c: &mut Criterion) {
+    let platform = star(32, 4);
+    let order = platform.order_by_c();
+    let sched = solve_fifo(&platform, &order, PortModel::OnePort)
+        .unwrap()
+        .schedule;
+    let mut group = c.benchmark_group("simulator/master_policy");
+    for (name, policy) in [
+        ("sends_then_receives", MasterPolicy::SendsThenReceives),
+        ("interleaved", MasterPolicy::Interleaved),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    simulate(
+                        &platform,
+                        &sched,
+                        &SimConfig {
+                            policy,
+                            ..SimConfig::ideal()
+                        },
+                    )
+                    .makespan,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_executor_scaling,
+    bench_noise_models,
+    bench_master_policies
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the LP substrate: simplex scaling on the
+//! paper's scheduling LPs (2p variables, 3p+1 constraints) and pivot-rule
+//! sensitivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_core::lp_model::build_problem;
+use dls_core::PortModel;
+use dls_lp::{solve_with, SolverOptions};
+use dls_platform::{Heterogeneity, PlatformSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn sampler(workers: usize) -> PlatformSampler {
+    PlatformSampler {
+        workers,
+        comm: Heterogeneity::PerWorker,
+        comp: Heterogeneity::PerWorker,
+        factor_range: (1.0, 10.0),
+    }
+}
+
+fn bench_fifo_lp_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex/fifo_lp");
+    for p in [4usize, 8, 16, 32, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let platform = sampler(p).sample_abstract(5.0, 0.5, &mut rng);
+        let order = platform.order_by_c();
+        let (lp, _) = build_problem(&platform, &order, &order, PortModel::OnePort).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(p), &lp, |b, lp| {
+            b.iter(|| {
+                let opts = SolverOptions::for_size(lp.num_vars(), lp.num_constraints());
+                black_box(solve_with::<f64>(lp, &opts).unwrap().objective)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pivot_rules(c: &mut Criterion) {
+    // Dantzig (default until bland_after) vs pure Bland on the same LP.
+    let mut rng = StdRng::seed_from_u64(11);
+    let platform = sampler(32).sample_abstract(5.0, 0.5, &mut rng);
+    let order = platform.order_by_c();
+    let (lp, _) = build_problem(&platform, &order, &order, PortModel::OnePort).unwrap();
+
+    let mut group = c.benchmark_group("simplex/pivot_rule");
+    group.bench_function("dantzig_then_bland", |b| {
+        b.iter(|| {
+            let opts = SolverOptions::for_size(lp.num_vars(), lp.num_constraints());
+            black_box(solve_with::<f64>(&lp, &opts).unwrap().iterations)
+        })
+    });
+    group.bench_function("pure_bland", |b| {
+        b.iter(|| {
+            let opts = SolverOptions {
+                max_iterations: 1_000_000,
+                bland_after: 0,
+            };
+            black_box(solve_with::<f64>(&lp, &opts).unwrap().iterations)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fifo_lp_scaling, bench_pivot_rules);
+criterion_main!(benches);

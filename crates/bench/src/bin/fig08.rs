@@ -1,0 +1,23 @@
+//! Regenerates Figure 8 (linearity test). Usage: `fig08 [--dat <path>]`.
+
+use dls_bench::figures::fig08;
+use std::path::PathBuf;
+
+fn main() {
+    let fig = fig08::run(0xF1608);
+    println!("{}", fig.report());
+    if let Some(path) = dat_path() {
+        fig.write_dat(&path).expect("write dat file");
+        println!("series written to {}", path.display());
+    }
+}
+
+fn dat_path() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--dat" {
+            return args.next().map(PathBuf::from);
+        }
+    }
+    None
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 10 (50 homogeneous random platforms). Usage:
+//! `fig10 [--quick]`.
+
+use dls_bench::figures::fig10_13;
+use dls_bench::SweepConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::paper()
+    };
+    let res = fig10_13::run(&fig10_13::fig10_variant(), &cfg);
+    println!("{}\n", res.label);
+    println!("{}", res.table().render());
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 12 (fully heterogeneous star platforms). Usage:
+//! `fig12 [--quick]`.
+
+use dls_bench::figures::fig10_13;
+use dls_bench::SweepConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::paper()
+    };
+    let res = fig10_13::run(&fig10_13::fig12_variant(), &cfg);
+    println!("{}\n", res.label);
+    println!("{}", res.table().render());
+}

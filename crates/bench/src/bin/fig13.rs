@@ -1,0 +1,30 @@
+//! Regenerates Figure 13 (communication/computation ratio studies).
+//! Usage: `fig13 [a|b] [--quick]` — `a` = computation ×10, `b` =
+//! communication ×10; both when omitted.
+
+use dls_bench::figures::fig10_13;
+use dls_bench::SweepConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cfg = if quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::paper()
+    };
+    let which: Vec<&str> = match args.iter().find(|a| *a == "a" || *a == "b") {
+        Some(sel) => vec![sel.as_str()],
+        None => vec!["a", "b"],
+    };
+    for sel in which {
+        let variant = if sel == "a" {
+            fig10_13::fig13a_variant()
+        } else {
+            fig10_13::fig13b_variant()
+        };
+        let res = fig10_13::run(&variant, &cfg);
+        println!("{}\n", res.label);
+        println!("{}", res.table().render());
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates Figure 14 (participating workers). Usage:
+//! `fig14 [x ...]` — slow-worker speed factors (defaults: 1 2 3, covering
+//! both subfigures and the paper's header/text discrepancy).
+
+use dls_bench::figures::fig14;
+
+fn main() {
+    let xs: Vec<f64> = {
+        let parsed: Vec<f64> = std::env::args()
+            .skip(1)
+            .filter_map(|a| a.parse().ok())
+            .collect();
+        if parsed.is_empty() {
+            vec![1.0, 2.0, 3.0]
+        } else {
+            parsed
+        }
+    };
+    for x in xs {
+        let fig = fig14::run(x, 400, 1000, 0xF1614);
+        println!("{}\n", fig.report());
+    }
+}

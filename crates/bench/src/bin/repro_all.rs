@@ -1,0 +1,86 @@
+//! Regenerates every figure of the paper's evaluation section and writes
+//! tables, series files and traces under `results/`.
+//!
+//! Usage: `repro_all [--quick] [--out <dir>]` (default out dir: `results`).
+
+use dls_bench::figures::{fig08, fig09, fig10_13, fig14};
+use dls_bench::SweepConfig;
+use dls_report::{write_dat, write_text};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    let cfg = if quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::paper()
+    };
+
+    println!(
+        "Reproducing RR-5738 evaluation ({} mode) into {}/\n",
+        if quick { "quick" } else { "paper-scale" },
+        out.display()
+    );
+    let t0 = Instant::now();
+
+    // --- Figure 8.
+    let f8 = fig08::run(0xF1608);
+    println!("{}", f8.report());
+    f8.write_dat(&out.join("fig08_linearity.dat")).expect("dat");
+    write_text(&out.join("fig08_linearity.txt"), &f8.report()).expect("txt");
+
+    // --- Figure 9.
+    let f9 = fig09::run(200, if quick { 200 } else { 1000 }, 0xF1609);
+    println!("{}", f9.report());
+    write_text(&out.join("fig09_trace.txt"), &f9.report()).expect("txt");
+    write_text(&out.join("fig09_trace.csv"), &f9.trace_csv).expect("csv");
+
+    // --- Figures 10-13.
+    for variant in [
+        ("fig10", fig10_13::fig10_variant()),
+        ("fig11", fig10_13::fig11_variant()),
+        ("fig12", fig10_13::fig12_variant()),
+        ("fig13a", fig10_13::fig13a_variant()),
+        ("fig13b", fig10_13::fig13b_variant()),
+    ] {
+        let (stem, v) = variant;
+        let started = Instant::now();
+        let res = fig10_13::run(&v, &cfg);
+        println!("{}\n", res.label);
+        let table = res.table();
+        println!("{}", table.render());
+        println!("({} in {:.1?})\n", stem, started.elapsed());
+        let (xs, series) = res.series();
+        write_dat(&out.join(format!("{stem}.dat")), "matrix_size", &xs, &series).expect("dat");
+        write_text(
+            &out.join(format!("{stem}.txt")),
+            &format!("{}\n\n{}", res.label, table.render()),
+        )
+        .expect("txt");
+        write_text(&out.join(format!("{stem}.csv")), &table.to_csv()).expect("csv");
+    }
+
+    // --- Figure 14 (both subfigures plus the header/text discrepancy run).
+    let mut f14_all = String::new();
+    for x in [1.0, 2.0, 3.0] {
+        let fig = fig14::run(x, 400, if quick { 200 } else { 1000 }, 0xF1614);
+        println!("{}\n", fig.report());
+        f14_all.push_str(&fig.report());
+        f14_all.push_str("\n\n");
+    }
+    write_text(&out.join("fig14_participation.txt"), &f14_all).expect("txt");
+
+    println!(
+        "All artefacts regenerated in {:.1?}; outputs under {}/",
+        t0.elapsed(),
+        out.display()
+    );
+}

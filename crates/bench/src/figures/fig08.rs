@@ -1,0 +1,167 @@
+//! Figure 8 — linearity test.
+//!
+//! The paper sends messages of 0.5..5 MB to five workers with different
+//! (simulated) communication speeds and checks that transfer time is linear
+//! in message size with negligible latency ("our assumption on linearity
+//! holds true, and no latency needs to be taken into account"). We replay
+//! the test against the simulator's transfer model with cluster jitter and
+//! report a least-squares fit per worker: the slope must match
+//! `1/(bandwidth × speed factor)` and the intercept must be ~0.
+
+use dls_platform::{scenario, ClusterModel};
+use dls_report::{linear_fit, mean, num, write_dat, LinearFit, Series, Table};
+use dls_sim::RealismModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+
+/// Measured series for one worker.
+#[derive(Debug, Clone)]
+pub struct WorkerSeries {
+    /// Speed factor of the worker's link.
+    pub factor: f64,
+    /// Mean transfer time per message size (aligned with the size grid).
+    pub times: Vec<f64>,
+    /// Least-squares fit of time against megabytes.
+    pub fit: LinearFit,
+}
+
+/// Full Figure 8 output.
+#[derive(Debug, Clone)]
+pub struct Fig08 {
+    /// Message sizes in megabytes.
+    pub sizes_mb: Vec<f64>,
+    /// One series per worker.
+    pub workers: Vec<WorkerSeries>,
+}
+
+/// Repetitions averaged per point (jitter smoothing).
+const REPS: u32 = 20;
+
+/// Runs the linearity test.
+pub fn run(seed: u64) -> Fig08 {
+    let cluster = ClusterModel::gdsdmi();
+    let realism = RealismModel::cluster_jitter();
+    let sizes_mb: Vec<f64> = (1..=10).map(|k| k as f64 * 0.5).collect();
+
+    let workers = scenario::fig8_comm_factors()
+        .into_iter()
+        .enumerate()
+        .map(|(wi, factor)| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(wi as u64));
+            let times: Vec<f64> = sizes_mb
+                .iter()
+                .map(|mb| {
+                    let nominal = mb * 1e6 / (cluster.bandwidth * factor);
+                    let samples: Vec<f64> = (0..REPS)
+                        .map(|_| realism.transfer_duration(nominal, &mut rng))
+                        .collect();
+                    mean(&samples)
+                })
+                .collect();
+            let fit = linear_fit(&sizes_mb, &times).expect("grid has distinct sizes");
+            WorkerSeries {
+                factor,
+                times,
+                fit,
+            }
+        })
+        .collect();
+
+    Fig08 { sizes_mb, workers }
+}
+
+impl Fig08 {
+    /// Renders the measured times table plus the per-worker fit summary.
+    pub fn report(&self) -> String {
+        let mut headers: Vec<String> = vec!["MB".into()];
+        headers.extend(
+            self.workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| format!("worker {} (x{})", i + 1, w.factor)),
+        );
+        let refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new(&refs);
+        for (k, mb) in self.sizes_mb.iter().enumerate() {
+            let mut cells = vec![num(*mb, 1)];
+            cells.extend(self.workers.iter().map(|w| num(w.times[k], 4)));
+            t.row(&cells);
+        }
+
+        let mut fit = Table::new(&["worker", "slope s/MB", "expected", "intercept s", "R^2"]);
+        let cluster = ClusterModel::gdsdmi();
+        for (i, w) in self.workers.iter().enumerate() {
+            fit.row(&[
+                format!("worker {} (x{})", i + 1, w.factor),
+                num(w.fit.slope, 5),
+                num(1e6 / (cluster.bandwidth * w.factor), 5),
+                num(w.fit.intercept, 5),
+                num(w.fit.r_squared, 5),
+            ]);
+        }
+
+        format!(
+            "Figure 8 — linearity test (transfer time vs message size)\n\n{}\nLeast-squares fits (linear model holds when slope matches and intercept ~ 0):\n{}",
+            t.render(),
+            fit.render()
+        )
+    }
+
+    /// Writes the `.dat` series for plotting.
+    pub fn write_dat(&self, path: &Path) -> std::io::Result<()> {
+        let series: Vec<Series> = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| Series::new(format!("worker{}", i + 1), w.times.clone()))
+            .collect();
+        write_dat(path, "megabytes", &self.sizes_mb, &series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linearity_holds_in_the_simulator() {
+        let fig = run(42);
+        assert_eq!(fig.workers.len(), 5);
+        for (i, w) in fig.workers.iter().enumerate() {
+            assert!(
+                w.fit.r_squared > 0.995,
+                "worker {i}: poor linear fit r2 = {}",
+                w.fit.r_squared
+            );
+            // Intercept negligible relative to the largest transfer.
+            let max_t = w.times.last().copied().unwrap();
+            assert!(
+                w.fit.intercept.abs() < 0.05 * max_t,
+                "worker {i}: latency leaked into intercept: {}",
+                w.fit.intercept
+            );
+        }
+    }
+
+    #[test]
+    fn faster_workers_have_smaller_slopes() {
+        let fig = run(7);
+        for pair in fig.workers.windows(2) {
+            assert!(
+                pair[1].fit.slope < pair[0].fit.slope,
+                "slopes not decreasing with speed factor"
+            );
+        }
+    }
+
+    #[test]
+    fn report_contains_all_workers() {
+        let fig = run(1);
+        let rep = fig.report();
+        for i in 1..=5 {
+            assert!(rep.contains(&format!("worker {i}")), "missing worker {i}");
+        }
+        assert!(rep.contains("R^2"));
+    }
+}

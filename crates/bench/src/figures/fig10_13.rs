@@ -1,0 +1,149 @@
+//! Figures 10-13 — heuristic comparisons on random platforms.
+//!
+//! Thin figure-specific configurations over the shared
+//! [`crate::figures::sweep`] engine:
+//!
+//! * **Figure 10** — 50 homogeneous random platforms (a bus with uniform
+//!   compute): only `INC_C` and `LIFO` are plotted since every FIFO
+//!   ordering coincides;
+//! * **Figure 11** — homogeneous communication + heterogeneous computation
+//!   (the Theorem 2 regime);
+//! * **Figure 12** — fully heterogeneous stars;
+//! * **Figure 13(a)** — Figure 12 platforms with computation 10× faster;
+//! * **Figure 13(b)** — Figure 12 platforms with communication 10× faster,
+//!   where the linear cost model starts to break (modeled by the
+//!   cache-degradation compute inflation).
+
+use dls_platform::PlatformSampler;
+
+use crate::figures::sweep::{run_sweep, SweepResult, SweepVariant};
+use crate::scenarios::SweepConfig;
+
+/// Figure 10 variant.
+pub fn fig10_variant() -> SweepVariant {
+    SweepVariant {
+        label: "Figure 10 — 50 homogeneous random platforms".into(),
+        sampler: PlatformSampler::homogeneous(),
+        comp_scale: 1.0,
+        comm_scale: 1.0,
+        cache_effects: false,
+        include_inc_w: false,
+    }
+}
+
+/// Figure 11 variant.
+pub fn fig11_variant() -> SweepVariant {
+    SweepVariant {
+        label: "Figure 11 — homogeneous communication, heterogeneous computation".into(),
+        sampler: PlatformSampler::hetero_compute_bus(),
+        comp_scale: 1.0,
+        comm_scale: 1.0,
+        cache_effects: false,
+        include_inc_w: true,
+    }
+}
+
+/// Figure 12 variant.
+pub fn fig12_variant() -> SweepVariant {
+    SweepVariant {
+        label: "Figure 12 — 50 heterogeneous random platforms".into(),
+        sampler: PlatformSampler::hetero_star(),
+        comp_scale: 1.0,
+        comm_scale: 1.0,
+        cache_effects: false,
+        include_inc_w: true,
+    }
+}
+
+/// Figure 13(a) variant: calculation power ×10.
+pub fn fig13a_variant() -> SweepVariant {
+    SweepVariant {
+        label: "Figure 13(a) — heterogeneous platforms, calculation power x10".into(),
+        comp_scale: 0.1,
+        ..fig12_variant()
+    }
+}
+
+/// Figure 13(b) variant: communication power ×10 (linear-model limits).
+pub fn fig13b_variant() -> SweepVariant {
+    SweepVariant {
+        label: "Figure 13(b) — heterogeneous platforms, communication power x10".into(),
+        comm_scale: 0.1,
+        cache_effects: true,
+        ..fig12_variant()
+    }
+}
+
+/// Runs one of the sweep figures.
+pub fn run(variant: &SweepVariant, cfg: &SweepConfig) -> SweepResult {
+    run_sweep(cfg, variant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SweepConfig {
+        SweepConfig {
+            sizes: vec![80],
+            platforms: 3,
+            total_units: 100,
+            base_seed: 11,
+        }
+    }
+
+    #[test]
+    fn fig10_has_no_inc_w_series() {
+        let res = run(&fig10_variant(), &tiny());
+        assert!(res.rows[0]
+            .ratios
+            .iter()
+            .all(|(name, _)| !name.contains("INC_W")));
+        // INC_C real and LIFO lp/real = 3 columns.
+        assert_eq!(res.rows[0].ratios.len(), 3);
+    }
+
+    #[test]
+    fn fig11_and_12_have_all_series() {
+        for v in [fig11_variant(), fig12_variant()] {
+            let res = run(&v, &tiny());
+            assert_eq!(res.rows[0].ratios.len(), 5, "{}", v.label);
+        }
+    }
+
+    #[test]
+    fn fig13a_is_comm_dominated() {
+        // With compute 10x faster, the theoretical INC_C time drops well
+        // below the unscaled variant's.
+        let base = run(&fig12_variant(), &tiny());
+        let fast = run(&fig13a_variant(), &tiny());
+        assert!(fast.rows[0].inc_c_lp < base.rows[0].inc_c_lp);
+    }
+
+    #[test]
+    fn fig13b_real_ratio_grows_with_size() {
+        // The cache model makes real/lp grow with n when communication is
+        // fast — the paper's "limits of the linear cost model".
+        let cfg = SweepConfig {
+            sizes: vec![40, 200],
+            platforms: 3,
+            total_units: 100,
+            base_seed: 12,
+        };
+        let res = run(&fig13b_variant(), &cfg);
+        let ratio = |row: usize| {
+            res.rows[row]
+                .ratios
+                .iter()
+                .find(|(n, _)| n == "INC_C real/INC_C lp")
+                .unwrap()
+                .1
+        };
+        assert!(
+            ratio(1) > ratio(0) + 0.1,
+            "expected growing real/lp: {} then {}",
+            ratio(0),
+            ratio(1)
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Figure 14 — resource selection on the four-worker platform of §5.3.4.
+//!
+//! Three fast workers plus one slow one (communication speed factor `x`).
+//! Increasing the number of *available* workers from 1 to 4, the framework
+//! must decide how many to actually *use*: with `x = 1` the fourth worker
+//! is never enrolled; with `x = 3` it is, with a slight makespan gain.
+//! (The paper's 14(b) plot header says `x = 2` while its text says `x = 3`;
+//! both values are runnable here.)
+
+use dls_core::prelude::*;
+use dls_platform::{scenario, Platform, WorkerId};
+use dls_report::{num, Table};
+use dls_sim::{simulate, SimConfig};
+
+/// One measurement: `k` workers made available.
+#[derive(Debug, Clone)]
+pub struct Fig14Row {
+    /// Workers offered to the scheduler (prefix of the paper's table).
+    pub available: usize,
+    /// Workers the optimal FIFO schedule actually enrolled.
+    pub used: usize,
+    /// Theoretical time for `M` units (seconds).
+    pub lp_time: f64,
+    /// Simulated time of the rounded schedule (seconds).
+    pub real_time: f64,
+}
+
+/// Full Figure 14 output for one `x`.
+#[derive(Debug, Clone)]
+pub struct Fig14 {
+    /// The slow worker's communication speed factor.
+    pub x: f64,
+    /// Matrix size.
+    pub n: usize,
+    /// Rows for 1..=4 available workers.
+    pub rows: Vec<Fig14Row>,
+}
+
+/// Runs the experiment for slow-worker speed `x`, matrix size `n` and `m`
+/// products.
+pub fn run(x: f64, n: usize, m: u64, seed: u64) -> Fig14 {
+    let full = scenario::fig14_platform(x, n);
+    let rows = (1..=full.num_workers())
+        .map(|k| {
+            let ids: Vec<WorkerId> = (0..k).map(WorkerId).collect();
+            let platform: Platform = full.restrict(&ids).expect("prefix restriction valid");
+            let sol = optimal_fifo(&platform).expect("z-tied platform");
+            let lp_time = m as f64 / sol.throughput;
+            let int_sched = integer_schedule(&sol.schedule, m);
+            let report = simulate(
+                &platform,
+                &int_sched,
+                &SimConfig::jittered(seed.wrapping_add(k as u64)),
+            );
+            Fig14Row {
+                available: k,
+                used: sol.schedule.participants().len(),
+                lp_time,
+                real_time: report.makespan,
+            }
+        })
+        .collect();
+    Fig14 { x, n, rows }
+}
+
+impl Fig14 {
+    /// Printable report (the paper's bar-plot data as a table).
+    pub fn report(&self) -> String {
+        let mut t = Table::new(&["available", "used", "lp time (s)", "real time (s)"]);
+        for r in &self.rows {
+            t.row(&[
+                r.available.to_string(),
+                r.used.to_string(),
+                num(r.lp_time, 3),
+                num(r.real_time, 3),
+            ]);
+        }
+        format!(
+            "Figure 14 — participating workers, INC_C, matrix size {}, x = {}\n\nworker table (speed factors):  comm = 10, 8, 8, {} | comp = 9, 9, 10, 1\n\n{}",
+            self.n,
+            self.x,
+            self.x,
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_worker_never_used_when_x_is_1() {
+        let fig = run(1.0, 400, 1000, 21);
+        // Paper, Fig 14(a): "the last worker is never used (even when we
+        // authorize four workers to be used)".
+        assert_eq!(fig.rows[3].available, 4);
+        assert_eq!(
+            fig.rows[3].used, 3,
+            "slow worker was enrolled: {:?}",
+            fig.rows[3]
+        );
+    }
+
+    #[test]
+    fn slow_worker_used_when_x_is_3() {
+        let fig = run(3.0, 400, 1000, 21);
+        assert_eq!(
+            fig.rows[3].used, 4,
+            "x = 3 should enroll the fourth worker: {:?}",
+            fig.rows[3]
+        );
+        // "the performance is slightly better when using all four workers".
+        assert!(
+            fig.rows[3].lp_time <= fig.rows[2].lp_time + 1e-9,
+            "4 workers should not be slower than 3 in theory"
+        );
+    }
+
+    #[test]
+    fn more_workers_never_hurt_in_theory() {
+        for x in [1.0, 2.0, 3.0] {
+            let fig = run(x, 400, 1000, 5);
+            for pair in fig.rows.windows(2) {
+                assert!(
+                    pair[1].lp_time <= pair[0].lp_time + 1e-6,
+                    "x={x}: lp time increased from {} to {}",
+                    pair[0].lp_time,
+                    pair[1].lp_time
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_contains_table() {
+        let rep = run(1.0, 400, 200, 1).report();
+        assert!(rep.contains("available"));
+        assert!(rep.contains("x = 1"));
+    }
+}

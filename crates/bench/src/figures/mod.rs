@@ -1,0 +1,13 @@
+//! One module per reproduced figure of the paper's evaluation section.
+//!
+//! Every module exposes `run(..)` returning a structured result plus a
+//! `report()` printable as "the rows the paper plots". The binaries in
+//! `src/bin/` are thin wrappers; integration tests and `cargo bench` call
+//! the same entry points at reduced scale.
+
+pub mod extensions;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10_13;
+pub mod fig14;
+pub mod sweep;

@@ -1,0 +1,114 @@
+//! Shared experiment configuration for the Section 5 reproduction.
+
+use dls_core::prelude::*;
+use dls_core::CoreError;
+use dls_platform::Platform;
+
+/// The heuristics compared throughout Section 5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Heuristic {
+    /// FIFO over all workers, fastest links first (optimal FIFO for
+    /// `z < 1` by Theorem 1).
+    IncC,
+    /// FIFO over all workers, fastest computers first.
+    IncW,
+    /// Optimal one-port LIFO (all workers, fastest links first).
+    Lifo,
+}
+
+impl Heuristic {
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Heuristic::IncC => "INC_C",
+            Heuristic::IncW => "INC_W",
+            Heuristic::Lifo => "LIFO",
+        }
+    }
+
+    /// Solves the heuristic's scenario LP on `platform`.
+    pub fn solve(&self, platform: &Platform) -> Result<LpSchedule, CoreError> {
+        match self {
+            Heuristic::IncC => inc_c_fifo(platform),
+            Heuristic::IncW => inc_w_fifo(platform),
+            Heuristic::Lifo => optimal_lifo(platform),
+        }
+    }
+}
+
+/// Parameters of a Figures 10-13 style sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Matrix sizes on the x-axis (the paper sweeps 40..200).
+    pub sizes: Vec<usize>,
+    /// Random platforms averaged per size (the paper uses 50).
+    pub platforms: usize,
+    /// Total number of matrix products `M` (the paper fixes 1000).
+    pub total_units: u64,
+    /// Base RNG seed; platform `i` uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl SweepConfig {
+    /// The paper's full parameters: sizes 40,60,..,200; 50 platforms;
+    /// M = 1000.
+    pub fn paper() -> Self {
+        SweepConfig {
+            sizes: (40..=200).step_by(20).collect(),
+            platforms: 50,
+            total_units: 1000,
+            base_seed: 0xD15C0,
+        }
+    }
+
+    /// Reduced parameters for tests and smoke benches.
+    pub fn quick() -> Self {
+        SweepConfig {
+            sizes: vec![40, 120, 200],
+            platforms: 6,
+            total_units: 200,
+            base_seed: 0xD15C0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heuristic_names() {
+        assert_eq!(Heuristic::IncC.name(), "INC_C");
+        assert_eq!(Heuristic::IncW.name(), "INC_W");
+        assert_eq!(Heuristic::Lifo.name(), "LIFO");
+    }
+
+    #[test]
+    fn heuristics_solve_on_a_small_star() {
+        let p = Platform::star_with_z(&[(1.0, 2.0), (2.0, 1.0)], 0.5).unwrap();
+        for h in [Heuristic::IncC, Heuristic::IncW, Heuristic::Lifo] {
+            let sol = h.solve(&p).unwrap();
+            assert!(sol.throughput > 0.0, "{} failed", h.name());
+        }
+        // INC_C is the optimal FIFO: it cannot lose to INC_W.
+        let c = Heuristic::IncC.solve(&p).unwrap().throughput;
+        let w = Heuristic::IncW.solve(&p).unwrap().throughput;
+        assert!(c >= w - 1e-9);
+    }
+
+    #[test]
+    fn paper_config_shape() {
+        let cfg = SweepConfig::paper();
+        assert_eq!(cfg.sizes, vec![40, 60, 80, 100, 120, 140, 160, 180, 200]);
+        assert_eq!(cfg.platforms, 50);
+        assert_eq!(cfg.total_units, 1000);
+    }
+
+    #[test]
+    fn quick_config_is_smaller() {
+        let q = SweepConfig::quick();
+        let p = SweepConfig::paper();
+        assert!(q.sizes.len() < p.sizes.len());
+        assert!(q.platforms < p.platforms);
+    }
+}

@@ -1,0 +1,383 @@
+//! Affine cost model extension (Section 6 of the paper).
+//!
+//! The linear model charges `α·c` per message; the *affine* model adds a
+//! fixed start-up latency per message (`C_i` forward, `D_i` return). The
+//! paper's related-work section explains why this matters — latencies
+//! cannot be ignored for multi-round schedules — and cites the
+//! NP-hardness of the affine one-round problem on stars
+//! (Legrand-Yang-Casanova \[20\]). The hardness comes from *enrollment*:
+//! with latencies, a worker costs port time even for an infinitesimal
+//! load, so resource selection is no longer free in the LP and must be
+//! searched combinatorially.
+//!
+//! This module provides:
+//!
+//! * [`affine_fifo_for_set`] — the scenario LP for a fixed enrolled set
+//!   (still an LP: latencies only shift the right-hand sides);
+//! * [`affine_fifo_best_prefix`] — polynomial heuristic over `c`-sorted
+//!   prefixes;
+//! * [`affine_fifo_best_subset`] — exhaustive subset search (exact, small
+//!   `p`), the NP-hard problem's ground truth;
+//! * [`affine_makespan`] — analytic earliest-feasible makespan of a FIFO
+//!   schedule under affine costs (cross-checked against the simulator's
+//!   per-message latency model in the integration tests).
+
+use dls_lp::{Problem, Relation, SolverOptions, VarId};
+use dls_platform::{Platform, WorkerId};
+
+use crate::error::CoreError;
+use crate::schedule::{Schedule, LOAD_EPS};
+
+/// Per-worker fixed message latencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffineLatencies {
+    /// Start-up cost of the forward (data) message of each worker.
+    pub send: Vec<f64>,
+    /// Start-up cost of the return (result) message of each worker.
+    pub ret: Vec<f64>,
+}
+
+impl AffineLatencies {
+    /// Identical latencies for every worker.
+    pub fn uniform(workers: usize, send: f64, ret: f64) -> Self {
+        AffineLatencies {
+            send: vec![send; workers],
+            ret: vec![ret; workers],
+        }
+    }
+
+    /// The linear model (all latencies zero).
+    pub fn zero(workers: usize) -> Self {
+        Self::uniform(workers, 0.0, 0.0)
+    }
+
+    fn validate(&self, platform: &Platform) -> Result<(), CoreError> {
+        if self.send.len() != platform.num_workers() || self.ret.len() != platform.num_workers()
+        {
+            return Err(CoreError::MalformedOrder(format!(
+                "latency vectors sized {}/{} for {} workers",
+                self.send.len(),
+                self.ret.len(),
+                platform.num_workers()
+            )));
+        }
+        if self
+            .send
+            .iter()
+            .chain(&self.ret)
+            .any(|l| !l.is_finite() || *l < 0.0)
+        {
+            return Err(CoreError::MalformedOrder(
+                "latencies must be finite and non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Result of an affine FIFO optimization.
+#[derive(Debug, Clone)]
+pub struct AffineSolution {
+    /// Schedule over the full platform (non-enrolled workers at load 0).
+    pub schedule: Schedule,
+    /// Throughput for `T = 1`.
+    pub throughput: f64,
+    /// The enrolled set, in service order.
+    pub enrolled: Vec<WorkerId>,
+}
+
+/// Solves the affine FIFO LP for a **fixed** enrolled set/order.
+///
+/// Returns `Ok(None)` when the latencies alone already exceed the horizon
+/// (no feasible positive schedule for this set).
+pub fn affine_fifo_for_set(
+    platform: &Platform,
+    lat: &AffineLatencies,
+    order: &[WorkerId],
+) -> Result<Option<AffineSolution>, CoreError> {
+    lat.validate(platform)?;
+    Schedule::fifo(
+        platform,
+        order.to_vec(),
+        vec![0.0; platform.num_workers()],
+    )?;
+    if order.is_empty() {
+        return Err(CoreError::MalformedOrder("empty enrolled order".into()));
+    }
+    let q = order.len();
+
+    // Fixed latency budgets per constraint.
+    let send_lat = |i: usize| lat.send[order[i].index()];
+    let ret_lat = |i: usize| lat.ret[order[i].index()];
+    let total_lat: f64 = (0..q).map(|i| send_lat(i) + ret_lat(i)).sum();
+
+    let mut lp = Problem::maximize();
+    let alphas: Vec<VarId> = order
+        .iter()
+        .map(|id| lp.add_var(format!("alpha_{id}"), 1.0))
+        .collect();
+    let idles: Vec<VarId> = order
+        .iter()
+        .map(|id| lp.add_var(format!("x_{id}"), 0.0))
+        .collect();
+
+    let mut feasible = true;
+    for (k, &id) in order.iter().enumerate() {
+        let w_i = platform.worker(id);
+        // Latency charge: all forward messages up to k, all returns from k.
+        let fixed: f64 = (0..=k).map(send_lat).sum::<f64>()
+            + (k..q).map(ret_lat).sum::<f64>();
+        let rhs = 1.0 - fixed;
+        if rhs < 0.0 {
+            feasible = false;
+            break;
+        }
+        let mut coeffs: Vec<(VarId, f64)> = Vec::with_capacity(q + 2);
+        for (l, &jd) in order.iter().enumerate().take(k + 1) {
+            coeffs.push((alphas[l], platform.worker(jd).c));
+        }
+        coeffs.push((alphas[k], w_i.w));
+        coeffs.push((idles[k], 1.0));
+        for (l, &jd) in order.iter().enumerate().skip(k) {
+            coeffs.push((alphas[l], platform.worker(jd).d));
+        }
+        lp.add_constraint(format!("deadline_{id}"), coeffs, Relation::Le, rhs);
+    }
+    let one_port_rhs = 1.0 - total_lat;
+    if one_port_rhs < 0.0 {
+        feasible = false;
+    }
+    if !feasible {
+        return Ok(None);
+    }
+    lp.add_constraint(
+        "one_port",
+        order.iter().enumerate().map(|(k, &id)| {
+            let w = platform.worker(id);
+            (alphas[k], w.c + w.d)
+        }),
+        Relation::Le,
+        one_port_rhs,
+    );
+
+    let sol = dls_lp::solve_with::<f64>(
+        &lp,
+        &SolverOptions::for_size(lp.num_vars(), lp.num_constraints()),
+    )?;
+    let mut loads = vec![0.0; platform.num_workers()];
+    for (k, &id) in order.iter().enumerate() {
+        loads[id.index()] = sol.value(alphas[k]).max(0.0);
+    }
+    let schedule = Schedule::fifo(platform, order.to_vec(), loads)?;
+    Ok(Some(AffineSolution {
+        throughput: sol.objective,
+        enrolled: order.to_vec(),
+        schedule,
+    }))
+}
+
+/// Polynomial heuristic: best `c`-sorted prefix (by Theorem 1 intuition;
+/// exact in the linear limit, a heuristic once latencies bite — see \[20\]).
+pub fn affine_fifo_best_prefix(
+    platform: &Platform,
+    lat: &AffineLatencies,
+) -> Result<AffineSolution, CoreError> {
+    let sorted = platform.order_by_c();
+    let mut best: Option<AffineSolution> = None;
+    for k in 1..=sorted.len() {
+        if let Some(sol) = affine_fifo_for_set(platform, lat, &sorted[..k])? {
+            if best
+                .as_ref()
+                .map(|b| sol.throughput > b.throughput + LOAD_EPS)
+                .unwrap_or(true)
+            {
+                best = Some(sol);
+            }
+        }
+    }
+    best.ok_or_else(|| {
+        CoreError::MalformedOrder("latencies exceed the horizon for every prefix".into())
+    })
+}
+
+/// Exhaustive subset search (exact for the `c`-sorted order family);
+/// guarded to `p ≤ limit` since the affine selection problem is NP-hard.
+pub fn affine_fifo_best_subset(
+    platform: &Platform,
+    lat: &AffineLatencies,
+    limit: usize,
+) -> Result<AffineSolution, CoreError> {
+    let p = platform.num_workers();
+    if p > limit {
+        return Err(CoreError::TooManyWorkers { got: p, limit });
+    }
+    let sorted = platform.order_by_c();
+    let mut best: Option<AffineSolution> = None;
+    for mask in 1u32..(1u32 << p) {
+        let order: Vec<WorkerId> = sorted
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| mask & (1 << k) != 0)
+            .map(|(_, id)| *id)
+            .collect();
+        if let Some(sol) = affine_fifo_for_set(platform, lat, &order)? {
+            if best
+                .as_ref()
+                .map(|b| sol.throughput > b.throughput + LOAD_EPS)
+                .unwrap_or(true)
+            {
+                best = Some(sol);
+            }
+        }
+    }
+    best.ok_or_else(|| {
+        CoreError::MalformedOrder("latencies exceed the horizon for every subset".into())
+    })
+}
+
+/// Earliest-feasible makespan of a FIFO schedule under affine costs
+/// (sends back-to-back with latency, returns in order as soon as the port
+/// is free and the worker has computed).
+pub fn affine_makespan(platform: &Platform, lat: &AffineLatencies, schedule: &Schedule) -> f64 {
+    let participants: Vec<WorkerId> = schedule.participants();
+    let mut compute_end = vec![0.0; platform.num_workers()];
+    let mut t = 0.0;
+    for &id in &participants {
+        let w = platform.worker(id);
+        let alpha = schedule.load(id);
+        t += lat.send[id.index()] + alpha * w.c;
+        compute_end[id.index()] = t + alpha * w.w;
+    }
+    let mut port_free = t;
+    let mut makespan: f64 = t;
+    for &id in schedule.return_order() {
+        let alpha = schedule.load(id);
+        if alpha <= LOAD_EPS {
+            continue;
+        }
+        let w = platform.worker(id);
+        let start = port_free.max(compute_end[id.index()]);
+        port_free = start + lat.ret[id.index()] + alpha * w.d;
+        makespan = makespan.max(port_free).max(compute_end[id.index()]);
+    }
+    for &id in &participants {
+        makespan = makespan.max(compute_end[id.index()]);
+    }
+    makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp_model::solve_fifo;
+    use crate::schedule::PortModel;
+
+    fn star(n: usize) -> Platform {
+        let cw: Vec<(f64, f64)> = (0..n)
+            .map(|i| (1.0 + 0.3 * i as f64, 2.0 + 0.5 * ((i * 7) % 5) as f64))
+            .collect();
+        Platform::star_with_z(&cw, 0.5).unwrap()
+    }
+
+    #[test]
+    fn zero_latency_reduces_to_linear_model() {
+        let p = star(4);
+        let lat = AffineLatencies::zero(4);
+        let order = p.order_by_c();
+        let affine = affine_fifo_for_set(&p, &lat, &order).unwrap().unwrap();
+        let linear = solve_fifo(&p, &order, PortModel::OnePort).unwrap();
+        assert!((affine.throughput - linear.throughput).abs() < 1e-7);
+    }
+
+    #[test]
+    fn latency_strictly_decreases_throughput() {
+        let p = star(3);
+        let order = p.order_by_c();
+        let base = affine_fifo_for_set(&p, &AffineLatencies::zero(3), &order)
+            .unwrap()
+            .unwrap()
+            .throughput;
+        let mut last = base;
+        for l in [0.01, 0.05, 0.1] {
+            let sol = affine_fifo_for_set(&p, &AffineLatencies::uniform(3, l, l), &order)
+                .unwrap()
+                .unwrap();
+            assert!(sol.throughput < last, "latency {l} did not hurt");
+            last = sol.throughput;
+        }
+    }
+
+    #[test]
+    fn huge_latency_makes_set_infeasible() {
+        let p = star(3);
+        let order = p.order_by_c();
+        let sol =
+            affine_fifo_for_set(&p, &AffineLatencies::uniform(3, 0.4, 0.4), &order).unwrap();
+        // 3 workers x 0.8 latency = 2.4 > 1: no feasible schedule.
+        assert!(sol.is_none());
+    }
+
+    #[test]
+    fn latency_drives_resource_selection() {
+        // With heavy per-message cost, enrolling fewer workers wins even
+        // when all links are identical — impossible in the linear model.
+        let p = Platform::bus(0.05, 0.025, &[1.0, 1.0, 1.0, 1.0]).unwrap();
+        let no_lat = affine_fifo_best_subset(&p, &AffineLatencies::zero(4), 16).unwrap();
+        assert_eq!(no_lat.enrolled.len(), 4, "linear model enrolls everyone");
+        let heavy = affine_fifo_best_subset(
+            &p,
+            &AffineLatencies::uniform(4, 0.12, 0.12),
+            16,
+        )
+        .unwrap();
+        assert!(
+            heavy.enrolled.len() < 4,
+            "expected latency-driven drop-out, got {:?}",
+            heavy.enrolled
+        );
+    }
+
+    #[test]
+    fn subset_dominates_prefix() {
+        let p = star(5);
+        let lat = AffineLatencies::uniform(5, 0.05, 0.02);
+        let prefix = affine_fifo_best_prefix(&p, &lat).unwrap();
+        let subset = affine_fifo_best_subset(&p, &lat, 16).unwrap();
+        assert!(subset.throughput >= prefix.throughput - 1e-9);
+    }
+
+    #[test]
+    fn lp_solution_saturates_affine_horizon() {
+        let p = star(3);
+        let lat = AffineLatencies::uniform(3, 0.03, 0.01);
+        let sol = affine_fifo_best_prefix(&p, &lat).unwrap();
+        let ms = affine_makespan(&p, &lat, &sol.schedule);
+        assert!(
+            (ms - 1.0).abs() < 1e-6,
+            "affine optimum should fill the horizon: {ms}"
+        );
+    }
+
+    #[test]
+    fn affine_makespan_reduces_to_timeline_without_latency() {
+        let p = star(4);
+        let order = p.order_by_c();
+        let sol = solve_fifo(&p, &order, PortModel::OnePort).unwrap();
+        let lat = AffineLatencies::zero(4);
+        let a = affine_makespan(&p, &lat, &sol.schedule);
+        let b = crate::timeline::makespan(&p, &sol.schedule, PortModel::OnePort);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mismatched_latency_vectors_rejected() {
+        let p = star(3);
+        let lat = AffineLatencies::zero(2);
+        assert!(affine_fifo_for_set(&p, &lat, &p.order_by_c()).is_err());
+        let bad = AffineLatencies {
+            send: vec![0.0, -1.0, 0.0],
+            ret: vec![0.0; 3],
+        };
+        assert!(affine_fifo_for_set(&p, &bad, &p.order_by_c()).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for the scheduling library.
+
+use core::fmt;
+
+use dls_lp::LpError;
+use dls_platform::PlatformError;
+
+/// Errors raised by schedule construction and optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Underlying platform was invalid.
+    Platform(PlatformError),
+    /// The LP solver failed (should not happen for well-formed scheduling
+    /// LPs: the zero schedule is always feasible and throughput is bounded).
+    Lp(LpError),
+    /// The requested optimality result (Theorem 1 / Theorem 2) requires all
+    /// workers to share the ratio `z = d/c`, which this platform does not.
+    NotZTied,
+    /// The requested closed form requires a bus platform (`ci = c`,
+    /// `di = d`).
+    NotABus,
+    /// Exhaustive search was requested on a platform too large to enumerate.
+    TooManyWorkers {
+        /// Workers in the platform.
+        got: usize,
+        /// Enumeration limit for this routine.
+        limit: usize,
+    },
+    /// An order contained duplicate or out-of-range worker ids, or the send
+    /// and return orders enrolled different sets.
+    MalformedOrder(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Platform(e) => write!(f, "platform error: {e}"),
+            CoreError::Lp(e) => write!(f, "LP solver error: {e}"),
+            CoreError::NotZTied => {
+                write!(f, "workers do not share a common ratio z = d/c")
+            }
+            CoreError::NotABus => write!(f, "platform is not a bus network"),
+            CoreError::TooManyWorkers { got, limit } => write!(
+                f,
+                "exhaustive search limited to {limit} workers, platform has {got}"
+            ),
+            CoreError::MalformedOrder(msg) => write!(f, "malformed order: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Platform(e) => Some(e),
+            CoreError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlatformError> for CoreError {
+    fn from(e: PlatformError) -> Self {
+        CoreError::Platform(e)
+    }
+}
+
+impl From<LpError> for CoreError {
+    fn from(e: LpError) -> Self {
+        CoreError::Lp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = LpError::Infeasible.into();
+        assert!(e.to_string().contains("infeasible"));
+        let e: CoreError = PlatformError::Empty.into();
+        assert!(e.to_string().contains("no workers"));
+        assert!(CoreError::NotZTied.to_string().contains('z'));
+        let e = CoreError::TooManyWorkers { got: 12, limit: 8 };
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e: CoreError = LpError::Unbounded.into();
+        assert!(e.source().is_some());
+        assert!(CoreError::NotABus.source().is_none());
+    }
+}

@@ -1,0 +1,107 @@
+//! Optimal one-port LIFO schedules.
+//!
+//! In a LIFO schedule the first-served worker returns its results *last*
+//! (`σ2 = σ1` reversed). The companion papers \[7, 8\] characterize the
+//! optimal *two-port* LIFO schedule: all workers participate, served by
+//! non-decreasing `c_i`, with no idle time. Section 5 of RR-5738 observes
+//! that this schedule "is indeed a one-port schedule": in any canonical
+//! LIFO execution the first return belongs to the last-served worker, whose
+//! computation only starts after every send has completed — so returns can
+//! never overlap sends and the one-port constraint (2b) is automatically
+//! satisfied. Consequently the two-port LIFO optimum *is* the one-port LIFO
+//! optimum, and we obtain it by solving the LIFO scenario LP over all
+//! workers sorted by non-decreasing `c`.
+//!
+//! The mirror argument shows the same send order remains optimal for
+//! `z > 1`: time-reversing a LIFO schedule yields a LIFO schedule with the
+//! *same* send order on the mirrored platform.
+
+use dls_platform::Platform;
+
+use crate::error::CoreError;
+use crate::lp_model::{solve_lifo, LpSchedule};
+use crate::schedule::PortModel;
+
+/// Computes the optimal one-port LIFO schedule (all workers, served by
+/// non-decreasing `c`). Valid for any `z`-tied platform; exhaustive search
+/// over LIFO orders (see [`crate::brute_force`]) confirms optimality on
+/// random instances in the test-suite.
+pub fn optimal_lifo(platform: &Platform) -> Result<LpSchedule, CoreError> {
+    platform.common_z().ok_or(CoreError::NotZTied)?;
+    solve_lifo(platform, &platform.order_by_c(), PortModel::OnePort)
+}
+
+/// The paper's `LIFO` heuristic entry point used in the Section 5
+/// experiments (identical to [`optimal_lifo`], named for symmetry with
+/// `INC_C`/`INC_W`).
+pub fn lifo_heuristic(platform: &Platform) -> Result<LpSchedule, CoreError> {
+    optimal_lifo(platform)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp_model::solve_lifo;
+    use crate::schedule::PortModel;
+    use crate::timeline::Timeline;
+    use dls_platform::WorkerId;
+
+    fn star(z: f64, cw: &[(f64, f64)]) -> Platform {
+        Platform::star_with_z(cw, z).unwrap()
+    }
+
+    #[test]
+    fn optimal_lifo_is_lifo_and_feasible() {
+        let p = star(0.5, &[(2.0, 1.0), (1.0, 3.0), (1.5, 2.0)]);
+        let sol = optimal_lifo(&p).unwrap();
+        assert!(sol.schedule.is_lifo());
+        let t = Timeline::build(&p, &sol.schedule, PortModel::OnePort);
+        assert!(t.verify(&p, &sol.schedule, 1e-7).is_empty());
+        assert!(t.makespan() <= 1.0 + 1e-7);
+    }
+
+    #[test]
+    fn one_port_equals_two_port_for_lifo() {
+        // The (2b) constraint is implied for canonical LIFO schedules, so
+        // both models give the same optimum.
+        let p = star(0.5, &[(2.0, 1.0), (1.0, 3.0), (1.5, 2.0), (0.7, 4.0)]);
+        let order = p.order_by_c();
+        let one = solve_lifo(&p, &order, PortModel::OnePort).unwrap();
+        let two = solve_lifo(&p, &order, PortModel::TwoPort).unwrap();
+        assert!(
+            (one.throughput - two.throughput).abs() < 1e-7,
+            "LIFO one-port {} != two-port {}",
+            one.throughput,
+            two.throughput
+        );
+    }
+
+    #[test]
+    fn lifo_enrolls_all_workers() {
+        // Companion-paper result: the optimal LIFO uses every worker — even
+        // ones with slow links get a (possibly small) share.
+        let p = star(0.5, &[(0.1, 1.0), (0.1, 1.0), (20.0, 1.0)]);
+        let sol = optimal_lifo(&p).unwrap();
+        assert!(
+            sol.schedule.load(WorkerId(2)) > 0.0,
+            "LIFO dropped a worker; loads = {:?}",
+            sol.schedule.loads()
+        );
+    }
+
+    #[test]
+    fn lifo_send_order_is_inc_c_even_for_large_z() {
+        let p = star(2.5, &[(2.0, 1.0), (1.0, 3.0)]);
+        let sol = optimal_lifo(&p).unwrap();
+        assert_eq!(sol.schedule.send_order(), &[WorkerId(1), WorkerId(0)]);
+        assert!(sol.schedule.is_lifo());
+    }
+
+    #[test]
+    fn lifo_heuristic_alias() {
+        let p = star(0.5, &[(2.0, 1.0), (1.0, 3.0)]);
+        let a = optimal_lifo(&p).unwrap();
+        let b = lifo_heuristic(&p).unwrap();
+        assert_eq!(a.schedule, b.schedule);
+    }
+}

@@ -1,0 +1,343 @@
+//! Linear-program formulations for fixed scenarios (Section 2.3).
+//!
+//! Given a set of enrolled workers and a permutation pair `(σ1, σ2)`, the
+//! optimal loads solve the LP (2) of the paper, generalized here to any
+//! permutation pair and to both port models:
+//!
+//! ```text
+//! maximize   ρ = Σ_i α_i
+//! subject to, for every enrolled worker i at send position k and return
+//! position m:
+//!   Σ_{l ≤ k} α_{σ1(l)}·c_{σ1(l)}  +  α_i·w_i  +  x_i
+//!        +  Σ_{l ≥ m} α_{σ2(l)}·d_{σ2(l)}  ≤  1          (2a)
+//! one-port only:
+//!   Σ_i α_i·(c_i + d_i)  ≤  1                             (2b)
+//!   α_i ≥ 0,  x_i ≥ 0
+//! ```
+//!
+//! Constraint (2a) says: the sends up to and including worker i, its
+//! computation, its idle gap, and the block of returns from its own through
+//! the last one must all fit before the deadline `T = 1`. (2b) forbids any
+//! overlap of master communications. This encodes the canonical schedule
+//! shape — sends back-to-back from time 0, returns back-to-back ending at
+//! `T` — which the paper shows is without loss of generality.
+//!
+//! The builder is exposed ([`build_problem`]) so tests can solve the same
+//! LP with the exact rational backend.
+
+use dls_lp::{Problem, Relation, Scalar, SolverOptions, VarId};
+use dls_platform::{Platform, WorkerId};
+
+use crate::error::CoreError;
+use crate::schedule::{PortModel, Schedule};
+
+/// Result of solving a scenario LP.
+#[derive(Debug, Clone)]
+pub struct LpSchedule {
+    /// The schedule with LP-optimal loads.
+    pub schedule: Schedule,
+    /// Optimal throughput `ρ = Σ α_i` for `T = 1`.
+    pub throughput: f64,
+    /// The LP's idle variables `x_i`, by platform worker index
+    /// (non-participants carry 0). Note the LP may distribute slack
+    /// differently from the earliest-feasible timeline; use
+    /// [`crate::timeline::Timeline`] for physical idle times.
+    pub lp_idles: Vec<f64>,
+    /// Simplex pivots used.
+    pub iterations: usize,
+}
+
+/// Variable handles of a built scenario LP, in enrolled (send-order)
+/// indexing.
+#[derive(Debug, Clone)]
+pub struct LpVars {
+    /// `α` variables, one per enrolled worker (send order).
+    pub alphas: Vec<VarId>,
+    /// `x` (idle) variables, one per enrolled worker (send order).
+    pub idles: Vec<VarId>,
+}
+
+fn check_orders(
+    platform: &Platform,
+    send_order: &[WorkerId],
+    return_order: &[WorkerId],
+) -> Result<(), CoreError> {
+    // Schedule::new performs full validation; reuse it with zero loads.
+    Schedule::new(
+        platform,
+        send_order.to_vec(),
+        return_order.to_vec(),
+        vec![0.0; platform.num_workers()],
+    )
+    .map(|_| ())
+}
+
+/// Builds the scenario LP for `(σ1, σ2)` under `model`.
+///
+/// Returns the problem plus variable handles (enrolled indexing follows
+/// `send_order`).
+pub fn build_problem(
+    platform: &Platform,
+    send_order: &[WorkerId],
+    return_order: &[WorkerId],
+    model: PortModel,
+) -> Result<(Problem, LpVars), CoreError> {
+    check_orders(platform, send_order, return_order)?;
+    let q = send_order.len();
+    let mut lp = Problem::maximize();
+
+    let alphas: Vec<VarId> = send_order
+        .iter()
+        .map(|id| lp.add_var(format!("alpha_{id}"), 1.0))
+        .collect();
+    let idles: Vec<VarId> = send_order
+        .iter()
+        .map(|id| lp.add_var(format!("x_{id}"), 0.0))
+        .collect();
+
+    // Enrolled position maps.
+    let mut send_pos = vec![usize::MAX; platform.num_workers()];
+    for (k, id) in send_order.iter().enumerate() {
+        send_pos[id.index()] = k;
+    }
+    let mut return_pos = vec![usize::MAX; platform.num_workers()];
+    for (m, id) in return_order.iter().enumerate() {
+        return_pos[id.index()] = m;
+    }
+
+    // (2a) per enrolled worker.
+    for (k, &id) in send_order.iter().enumerate() {
+        let w_i = platform.worker(id);
+        let m = return_pos[id.index()];
+        let mut coeffs: Vec<(VarId, f64)> = Vec::with_capacity(q + 2);
+        // Sends up to and including position k.
+        for (l, &jd) in send_order.iter().enumerate().take(k + 1) {
+            coeffs.push((alphas[l], platform.worker(jd).c));
+        }
+        // Own computation.
+        coeffs.push((alphas[k], w_i.w));
+        // Own idle gap.
+        coeffs.push((idles[k], 1.0));
+        // Returns from position m through the end.
+        for &jd in return_order.iter().skip(m) {
+            let enrolled = send_pos[jd.index()];
+            coeffs.push((alphas[enrolled], platform.worker(jd).d));
+        }
+        lp.add_constraint(format!("deadline_{id}"), coeffs, Relation::Le, 1.0);
+    }
+
+    // (2b) one-port: total master communication time within T.
+    if model == PortModel::OnePort {
+        let coeffs: Vec<(VarId, f64)> = send_order
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| {
+                let w = platform.worker(id);
+                (alphas[k], w.c + w.d)
+            })
+            .collect();
+        lp.add_constraint("one_port", coeffs, Relation::Le, 1.0);
+    }
+
+    Ok((lp, LpVars { alphas, idles }))
+}
+
+/// Solves the scenario LP and packages the optimal schedule.
+pub fn solve_scenario(
+    platform: &Platform,
+    send_order: &[WorkerId],
+    return_order: &[WorkerId],
+    model: PortModel,
+) -> Result<LpSchedule, CoreError> {
+    let (lp, vars) = build_problem(platform, send_order, return_order, model)?;
+    let sol = dls_lp::solve_with::<f64>(
+        &lp,
+        &SolverOptions::for_size(lp.num_vars(), lp.num_constraints()),
+    )?;
+
+    let mut loads = vec![0.0; platform.num_workers()];
+    let mut lp_idles = vec![0.0; platform.num_workers()];
+    for (k, &id) in send_order.iter().enumerate() {
+        loads[id.index()] = sol.value(vars.alphas[k]).max(0.0);
+        lp_idles[id.index()] = sol.value(vars.idles[k]).max(0.0);
+    }
+    let schedule = Schedule::new(
+        platform,
+        send_order.to_vec(),
+        return_order.to_vec(),
+        loads,
+    )?;
+    Ok(LpSchedule {
+        throughput: sol.objective,
+        schedule,
+        lp_idles,
+        iterations: sol.iterations,
+    })
+}
+
+/// Solves the scenario LP with an exact scalar backend; returns
+/// `(throughput, loads-by-platform-index)`.
+pub fn solve_scenario_exact<S: Scalar>(
+    platform: &Platform,
+    send_order: &[WorkerId],
+    return_order: &[WorkerId],
+    model: PortModel,
+) -> Result<(S, Vec<S>), CoreError> {
+    let (lp, vars) = build_problem(platform, send_order, return_order, model)?;
+    let sol = dls_lp::solve_exact::<S>(&lp)?;
+    let mut loads = vec![S::zero(); platform.num_workers()];
+    for (k, &id) in send_order.iter().enumerate() {
+        loads[id.index()] = sol.value(vars.alphas[k]);
+    }
+    Ok((sol.objective, loads))
+}
+
+/// Convenience: FIFO scenario (`σ2 = σ1`).
+pub fn solve_fifo(
+    platform: &Platform,
+    order: &[WorkerId],
+    model: PortModel,
+) -> Result<LpSchedule, CoreError> {
+    solve_scenario(platform, order, order, model)
+}
+
+/// Convenience: LIFO scenario (`σ2 = σ1` reversed).
+pub fn solve_lifo(
+    platform: &Platform,
+    order: &[WorkerId],
+    model: PortModel,
+) -> Result<LpSchedule, CoreError> {
+    let rev: Vec<WorkerId> = order.iter().rev().copied().collect();
+    solve_scenario(platform, order, &rev, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::{makespan, Timeline};
+    use dls_platform::Platform;
+
+    fn ids(v: &[usize]) -> Vec<WorkerId> {
+        v.iter().map(|&i| WorkerId(i)).collect()
+    }
+
+    fn platform() -> Platform {
+        Platform::star_with_z(&[(1.0, 2.0), (2.0, 1.0), (1.5, 3.0)], 0.5).unwrap()
+    }
+
+    #[test]
+    fn single_worker_fifo_closed_form() {
+        // One worker: alpha (c + w + d) = 1 exactly.
+        let p = Platform::star_with_z(&[(2.0, 3.0)], 0.5).unwrap();
+        let s = solve_fifo(&p, &ids(&[0]), PortModel::OnePort).unwrap();
+        let expect = 1.0 / (2.0 + 3.0 + 1.0);
+        assert!((s.throughput - expect).abs() < 1e-9);
+        assert!((s.schedule.load(WorkerId(0)) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lp_schedule_fits_in_unit_time() {
+        let p = platform();
+        for model in [PortModel::OnePort, PortModel::TwoPort] {
+            let s = solve_fifo(&p, &ids(&[0, 1, 2]), model).unwrap();
+            let ms = makespan(&p, &s.schedule, model);
+            assert!(
+                ms <= 1.0 + 1e-7,
+                "schedule overflows horizon: {ms} under {model:?}"
+            );
+            let t = Timeline::build(&p, &s.schedule, model);
+            assert!(t.verify(&p, &s.schedule, 1e-7).is_empty());
+        }
+    }
+
+    #[test]
+    fn lp_optimum_saturates_horizon() {
+        // At the optimum the schedule must use the full horizon (otherwise
+        // scale up: contradiction with optimality).
+        let p = platform();
+        let s = solve_fifo(&p, &ids(&[0, 1, 2]), PortModel::OnePort).unwrap();
+        let ms = makespan(&p, &s.schedule, PortModel::OnePort);
+        assert!((ms - 1.0).abs() < 1e-7, "optimal schedule wastes time: {ms}");
+    }
+
+    #[test]
+    fn two_port_dominates_one_port() {
+        let p = platform();
+        let one = solve_fifo(&p, &ids(&[0, 1, 2]), PortModel::OnePort).unwrap();
+        let two = solve_fifo(&p, &ids(&[0, 1, 2]), PortModel::TwoPort).unwrap();
+        assert!(two.throughput >= one.throughput - 1e-9);
+    }
+
+    #[test]
+    fn lifo_reverses_return_order() {
+        let p = platform();
+        let s = solve_lifo(&p, &ids(&[0, 1, 2]), PortModel::OnePort).unwrap();
+        assert!(s.schedule.is_lifo());
+        let ms = makespan(&p, &s.schedule, PortModel::OnePort);
+        assert!(ms <= 1.0 + 1e-7);
+    }
+
+    #[test]
+    fn general_permutation_pair() {
+        let p = platform();
+        let s = solve_scenario(
+            &p,
+            &ids(&[0, 1, 2]),
+            &ids(&[1, 0, 2]),
+            PortModel::OnePort,
+        )
+        .unwrap();
+        assert!(s.throughput > 0.0);
+        let t = Timeline::build(&p, &s.schedule, PortModel::OnePort);
+        assert!(t.verify(&p, &s.schedule, 1e-7).is_empty());
+        assert!(t.makespan() <= 1.0 + 1e-7);
+    }
+
+    #[test]
+    fn throughput_equals_total_load() {
+        let p = platform();
+        let s = solve_fifo(&p, &ids(&[2, 0, 1]), PortModel::OnePort).unwrap();
+        assert!((s.throughput - s.schedule.total_load()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_backend_agrees_with_float() {
+        let p = platform();
+        let f = solve_fifo(&p, &ids(&[0, 1, 2]), PortModel::OnePort).unwrap();
+        let (rho, _) = solve_scenario_exact::<dls_lp::Rational>(
+            &p,
+            &ids(&[0, 1, 2]),
+            &ids(&[0, 1, 2]),
+            PortModel::OnePort,
+        )
+        .unwrap();
+        assert!((f.throughput - rho.to_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_orders_rejected() {
+        let p = platform();
+        assert!(matches!(
+            solve_scenario(&p, &ids(&[0, 1]), &ids(&[0, 2]), PortModel::OnePort),
+            Err(CoreError::MalformedOrder(_))
+        ));
+    }
+
+    #[test]
+    fn one_port_constraint_binds_on_comm_bound_platform() {
+        // Tiny compute costs: communication is the bottleneck and
+        // rho = 1 / min-sum possible... specifically (2b) must bind:
+        // rho * (c + d) == 1 on a homogeneous comm-bound bus.
+        let p = Platform::star_with_z(&[(1.0, 1e-6), (1.0, 1e-6)], 0.5).unwrap();
+        let s = solve_fifo(&p, &ids(&[0, 1]), PortModel::OnePort).unwrap();
+        assert!((s.throughput - 1.0 / 1.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn subset_enrollment_allowed() {
+        let p = platform();
+        let s = solve_fifo(&p, &ids(&[1]), PortModel::OnePort).unwrap();
+        assert_eq!(s.schedule.load(WorkerId(0)), 0.0);
+        assert!(s.schedule.load(WorkerId(1)) > 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Classical divisible-load baselines *without* return messages.
+//!
+//! These are the results the paper builds on (Section 1): the landmark bus
+//! closed form of Bataineh-Hsiung-Robertazzi \[5, 10\], and its star
+//! generalization by Beaumont-Casanova-Legrand-Robert-Yang \[6\] where the
+//! optimal order serves **larger-bandwidth workers first** (non-decreasing
+//! `c_i`), all workers participate, none ever idles, and all finish
+//! simultaneously.
+//!
+//! With no return messages, tight termination constraints
+//! `Σ_{j≤i} α_j c_j + α_i w_i = 1` give the load chain
+//! `α_{i+1} (c_{i+1} + w_{i+1}) = α_i w_i` and the scale `α_1 (c_1+w_1)=1`.
+//!
+//! These baselines quantify, in the benches, what return messages cost.
+
+use dls_platform::{Platform, WorkerId};
+
+use crate::error::CoreError;
+use crate::schedule::Schedule;
+
+/// Closed-form solution of the no-return-message DLS problem.
+#[derive(Debug, Clone)]
+pub struct NoReturnSolution {
+    /// Loads by platform worker index.
+    pub loads: Vec<f64>,
+    /// Throughput `Σ α_i` for `T = 1`.
+    pub throughput: f64,
+    /// Service order used.
+    pub order: Vec<WorkerId>,
+}
+
+impl NoReturnSolution {
+    /// Packages the loads as a schedule (FIFO orders, though with `d = 0`
+    /// the return order is immaterial). Note the schedule is built against
+    /// a platform whose `d` may be nonzero — use
+    /// [`no_return_platform`] to zero the return costs first if you intend
+    /// to simulate it.
+    pub fn schedule(&self, platform: &Platform) -> Schedule {
+        Schedule::fifo(platform, self.order.clone(), self.loads.clone())
+            .expect("closed-form loads are valid")
+    }
+}
+
+/// Returns a copy of `platform` with all return costs zeroed (`d_i = 0`).
+pub fn no_return_platform(platform: &Platform) -> Platform {
+    Platform::new(
+        platform
+            .workers()
+            .iter()
+            .map(|w| dls_platform::Worker::new(w.c, w.w, 0.0))
+            .collect(),
+    )
+    .expect("zeroing d keeps the platform valid")
+}
+
+/// Closed form for a fixed service order, ignoring return messages.
+pub fn no_return_for_order(
+    platform: &Platform,
+    order: &[WorkerId],
+) -> Result<NoReturnSolution, CoreError> {
+    if order.is_empty() {
+        return Err(CoreError::MalformedOrder("empty order".into()));
+    }
+    Schedule::fifo(
+        platform,
+        order.to_vec(),
+        vec![0.0; platform.num_workers()],
+    )?;
+    let q = order.len();
+    let w = |i: usize| platform.worker(order[i]);
+
+    let mut alphas = vec![0.0; q];
+    alphas[0] = 1.0 / (w(0).c + w(0).w);
+    for i in 0..q - 1 {
+        alphas[i + 1] = alphas[i] * w(i).w / (w(i + 1).c + w(i + 1).w);
+    }
+
+    let mut loads = vec![0.0; platform.num_workers()];
+    for (id, a) in order.iter().zip(&alphas) {
+        loads[id.index()] = *a;
+    }
+    Ok(NoReturnSolution {
+        throughput: alphas.iter().sum(),
+        loads,
+        order: order.to_vec(),
+    })
+}
+
+/// Optimal no-return schedule (result of \[6\]): all workers served by
+/// non-decreasing `c`.
+pub fn optimal_no_return(platform: &Platform) -> Result<NoReturnSolution, CoreError> {
+    no_return_for_order(platform, &platform.order_by_c())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::PortModel;
+    use crate::timeline::makespan;
+
+    #[test]
+    fn two_worker_bus_hand_computed() {
+        // c = 1, w = 2 each: alpha1 = 1/3, alpha2 = (1/3)(2/3) = 2/9.
+        let p = Platform::bus(1.0, 0.0, &[2.0, 2.0]).unwrap();
+        let sol = optimal_no_return(&p).unwrap();
+        assert!((sol.loads[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((sol.loads[1] - 2.0 / 9.0).abs() < 1e-12);
+        assert!((sol.throughput - 5.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_workers_finish_simultaneously() {
+        let p = Platform::star_with_z(&[(1.0, 3.0), (2.0, 1.0), (1.5, 2.0)], 0.0)
+            .unwrap_or_else(|_| {
+                // z = 0 makes d = 0 which is allowed.
+                Platform::new(vec![
+                    dls_platform::Worker::new(1.0, 3.0, 0.0),
+                    dls_platform::Worker::new(2.0, 1.0, 0.0),
+                    dls_platform::Worker::new(1.5, 2.0, 0.0),
+                ])
+                .unwrap()
+            });
+        let sol = optimal_no_return(&p).unwrap();
+        // Every worker's completion time is exactly 1.
+        let order = &sol.order;
+        let mut t = 0.0;
+        for id in order {
+            let a = sol.loads[id.index()];
+            let w = p.worker(*id);
+            t += a * w.c;
+            let finish = t + a * w.w;
+            assert!((finish - 1.0).abs() < 1e-9, "{id} finishes at {finish}");
+        }
+    }
+
+    #[test]
+    fn inc_c_is_optimal_order() {
+        // Result of [6]: larger bandwidth (smaller c) first beats any other
+        // order; check against all 6 permutations of a 3-worker star.
+        let p = Platform::new(vec![
+            dls_platform::Worker::new(1.0, 2.0, 0.0),
+            dls_platform::Worker::new(2.0, 1.0, 0.0),
+            dls_platform::Worker::new(3.0, 0.5, 0.0),
+        ])
+        .unwrap();
+        let best = optimal_no_return(&p).unwrap().throughput;
+        let perms: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        for perm in perms {
+            let order: Vec<WorkerId> = perm.iter().map(|&i| WorkerId(i)).collect();
+            let sol = no_return_for_order(&p, &order).unwrap();
+            assert!(
+                sol.throughput <= best + 1e-9,
+                "order {perm:?} beats INC_C: {} > {best}",
+                sol.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_on_zeroed_platform_meets_horizon() {
+        let p = Platform::bus(1.0, 0.5, &[2.0, 3.0]).unwrap();
+        let zero = no_return_platform(&p);
+        let sol = optimal_no_return(&zero).unwrap();
+        let s = sol.schedule(&zero);
+        let ms = makespan(&zero, &s, PortModel::OnePort);
+        assert!((ms - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_return_dominates_with_return() {
+        // Dropping return messages can only help throughput.
+        let p = Platform::bus(1.0, 0.5, &[2.0, 3.0, 4.0]).unwrap();
+        let with_ret = crate::closed_form::bus_fifo(&p).unwrap().throughput;
+        let without = optimal_no_return(&no_return_platform(&p)).unwrap().throughput;
+        assert!(without >= with_ret - 1e-9);
+    }
+
+    #[test]
+    fn empty_order_rejected() {
+        let p = Platform::bus(1.0, 0.0, &[1.0]).unwrap();
+        assert!(no_return_for_order(&p, &[]).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Integer rounding of fractional LP loads (Section 5 of the paper).
+//!
+//! LP solutions are rational, but a real run must assign an integer number
+//! of matrix products to each worker. The paper's policy:
+//!
+//! > "We first round down every value to the immediate lower integer, and
+//! > then we distribute the K remaining tasks to the first K workers of the
+//! > schedule in the order of the sending permutation σ1, by giving one
+//! > more matrix to process to each of these workers."
+//!
+//! [`round_loads`] implements exactly this, after scaling the (throughput-
+//! normalized) fractional loads so they sum to the requested total `M`.
+
+use crate::schedule::{Schedule, LOAD_EPS};
+
+/// Rounds the schedule's fractional loads into integer unit counts summing
+/// exactly to `total_units`, using the paper's floor-then-distribute
+/// policy. Returns counts indexed by platform worker id.
+///
+/// Workers with negligible fractional load stay at zero (they are not part
+/// of "the schedule" the paper distributes the remainder over).
+pub fn round_loads(schedule: &Schedule, total_units: u64) -> Vec<u64> {
+    let p = schedule.loads().len();
+    let total_frac = schedule.total_load();
+    let mut counts = vec![0u64; p];
+    if total_units == 0 || total_frac <= LOAD_EPS {
+        return counts;
+    }
+
+    // Scale loads to sum to `total_units` and floor.
+    let scale = total_units as f64 / total_frac;
+    let mut assigned = 0u64;
+    for id in schedule.participants() {
+        let beta = schedule.load(id) * scale;
+        let fl = beta.floor() as u64;
+        counts[id.index()] = fl;
+        assigned += fl;
+    }
+
+    // Distribute the K leftovers, +1 each, to the first K participants in
+    // send order (wrapping in the pathological case K > #participants,
+    // which can only occur through floating-point dust).
+    let participants = schedule.participants();
+    let mut remaining = total_units - assigned;
+    while remaining > 0 {
+        for id in &participants {
+            if remaining == 0 {
+                break;
+            }
+            counts[id.index()] += 1;
+            remaining -= 1;
+        }
+    }
+    counts
+}
+
+/// Convenience: the schedule with integer loads (as `f64`), preserving
+/// orders — ready for simulation of an `M`-unit run.
+pub fn integer_schedule(schedule: &Schedule, total_units: u64) -> Schedule {
+    let counts = round_loads(schedule, total_units);
+    schedule.with_loads(counts.iter().map(|&c| c as f64).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_platform::{Platform, WorkerId};
+
+    fn ids(v: &[usize]) -> Vec<WorkerId> {
+        v.iter().map(|&i| WorkerId(i)).collect()
+    }
+
+    fn platform(n: usize) -> Platform {
+        Platform::star_with_z(&vec![(1.0, 1.0); n], 0.5).unwrap()
+    }
+
+    #[test]
+    fn papers_worked_example() {
+        // "with 4 processors P1 to P4 used in this order for σ1, if
+        //  M = 1000, α1 = 200.4, α2 = 300.2, α3 = 139.8 and α4 = 359.6,
+        //  then K = 2, and we assign 200 + 1 matrices to P1, 300 + 1 to P2,
+        //  139 to P3 and 359 to P4."
+        let p = platform(4);
+        let s = Schedule::fifo(&p, ids(&[0, 1, 2, 3]), vec![200.4, 300.2, 139.8, 359.6])
+            .unwrap();
+        let counts = round_loads(&s, 1000);
+        assert_eq!(counts, vec![201, 301, 139, 359]);
+        assert_eq!(counts.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn totals_always_exact() {
+        let p = platform(3);
+        let s = Schedule::fifo(&p, ids(&[2, 0, 1]), vec![0.3, 0.5, 0.2]).unwrap();
+        for m in [1u64, 7, 100, 999, 1000, 12345] {
+            let counts = round_loads(&s, m);
+            assert_eq!(counts.iter().sum::<u64>(), m, "total broken for M={m}");
+        }
+    }
+
+    #[test]
+    fn remainder_goes_to_first_in_send_order() {
+        let p = platform(3);
+        // Send order P3, P1, P2; equal fractional loads, M = 4 -> floors
+        // 1,1,1 and the leftover goes to P3 (first in sigma1).
+        let s = Schedule::fifo(&p, ids(&[2, 0, 1]), vec![1.0, 1.0, 1.0]).unwrap();
+        let counts = round_loads(&s, 4);
+        assert_eq!(counts[2], 2);
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 1);
+    }
+
+    #[test]
+    fn zero_load_workers_get_nothing() {
+        let p = platform(3);
+        let s = Schedule::fifo(&p, ids(&[0, 1, 2]), vec![0.6, 0.0, 0.4]).unwrap();
+        let counts = round_loads(&s, 11);
+        assert_eq!(counts[1], 0);
+        assert_eq!(counts.iter().sum::<u64>(), 11);
+    }
+
+    #[test]
+    fn zero_units_or_empty_schedule() {
+        let p = platform(2);
+        let s = Schedule::fifo(&p, ids(&[0, 1]), vec![1.0, 1.0]).unwrap();
+        assert_eq!(round_loads(&s, 0), vec![0, 0]);
+        let empty = Schedule::fifo(&p, ids(&[0, 1]), vec![0.0, 0.0]).unwrap();
+        assert_eq!(round_loads(&empty, 10), vec![0, 0]);
+    }
+
+    #[test]
+    fn integer_schedule_preserves_orders() {
+        let p = platform(3);
+        let s = Schedule::fifo(&p, ids(&[2, 0, 1]), vec![0.3, 0.5, 0.2]).unwrap();
+        let i = integer_schedule(&s, 100);
+        assert_eq!(i.send_order(), s.send_order());
+        assert_eq!(i.total_load(), 100.0);
+        assert!(i.loads().iter().all(|l| l.fract() == 0.0));
+    }
+
+    #[test]
+    fn rounding_error_is_bounded_by_one_unit() {
+        let p = platform(4);
+        let s = Schedule::fifo(&p, ids(&[0, 1, 2, 3]), vec![0.13, 0.29, 0.41, 0.17])
+            .unwrap();
+        let m = 1000u64;
+        let counts = round_loads(&s, m);
+        let scale = m as f64 / s.total_load();
+        for (i, &cnt) in counts.iter().enumerate() {
+            let ideal = s.loads()[i] * scale;
+            assert!(
+                (cnt as f64 - ideal).abs() <= 1.0 + 1e-9,
+                "worker {i}: {cnt} vs ideal {ideal}"
+            );
+        }
+    }
+}

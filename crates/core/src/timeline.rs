@@ -1,0 +1,449 @@
+//! Event-time computation and feasibility verification.
+//!
+//! Given a platform, a [`Schedule`] and a [`PortModel`], [`Timeline::build`]
+//! derives the unique *earliest-feasible* timing under the paper's
+//! canonical execution policy (Section 2.2):
+//!
+//! * the master issues initial messages back-to-back in `σ1` order starting
+//!   at time 0;
+//! * each worker computes immediately after its reception completes;
+//! * result messages are received in `σ2` order, each starting as soon as
+//!   (a) the required port is free — under one-port, no earlier than the end
+//!   of all sends — and (b) the worker has finished computing.
+//!
+//! The derived idle times `x_i` are exactly the paper's: the gap between a
+//! worker's end-of-compute and the start of its return transfer.
+//!
+//! [`Timeline::verify`] independently re-checks every model constraint from
+//! the raw intervals, so LP-produced schedules can be certified without
+//! trusting the LP or the builder.
+
+use dls_platform::{Platform, WorkerId};
+
+use crate::schedule::{PortModel, Schedule, LOAD_EPS};
+
+/// A half-open time interval `[start, end)` (may be empty).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Start time.
+    pub start: f64,
+    /// End time (`>= start`).
+    pub end: f64,
+}
+
+impl Interval {
+    /// Interval length.
+    pub fn len(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// `true` when the interval has (numerically) zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= LOAD_EPS
+    }
+
+    /// `true` when two intervals overlap by more than `tol`.
+    pub fn overlaps(&self, other: &Interval, tol: f64) -> bool {
+        self.start + tol < other.end && other.start + tol < self.end
+    }
+}
+
+/// Timing of one participating worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerTimeline {
+    /// The worker.
+    pub worker: WorkerId,
+    /// Reception of the initial data from the master.
+    pub send: Interval,
+    /// Computation.
+    pub compute: Interval,
+    /// Idle gap `x_i` between end of compute and start of the return.
+    pub idle: f64,
+    /// Transfer of the result message back to the master.
+    pub ret: Interval,
+}
+
+/// Full event timing of a schedule (participants only, in send order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    entries: Vec<WorkerTimeline>,
+    model: PortModel,
+}
+
+impl Timeline {
+    /// Builds the earliest-feasible timing for `schedule` on `platform`
+    /// under `model`. Workers with negligible load are skipped entirely
+    /// (they exchange no messages).
+    pub fn build(platform: &Platform, schedule: &Schedule, model: PortModel) -> Timeline {
+        let p = platform.num_workers();
+        let mut send_iv: Vec<Option<Interval>> = vec![None; p];
+        let mut compute_iv: Vec<Option<Interval>> = vec![None; p];
+
+        // Phase 1: back-to-back sends in sigma_1 order.
+        let mut t = 0.0;
+        for &id in schedule.send_order() {
+            let alpha = schedule.load(id);
+            if alpha <= LOAD_EPS {
+                continue;
+            }
+            let w = platform.worker(id);
+            let send = Interval {
+                start: t,
+                end: t + alpha * w.c,
+            };
+            t = send.end;
+            compute_iv[id.index()] = Some(Interval {
+                start: send.end,
+                end: send.end + alpha * w.w,
+            });
+            send_iv[id.index()] = Some(send);
+        }
+        let sends_end = t;
+
+        // Phase 2: returns in sigma_2 order. Under one-port the master's
+        // (single) port is busy until `sends_end`; under two-port the
+        // receive port is free from time 0.
+        let mut port_free = match model {
+            PortModel::OnePort => sends_end,
+            PortModel::TwoPort => 0.0,
+        };
+        let mut entries: Vec<WorkerTimeline> = Vec::new();
+        let mut ret_iv: Vec<Option<(f64, Interval)>> = vec![None; p];
+        for &id in schedule.return_order() {
+            let alpha = schedule.load(id);
+            if alpha <= LOAD_EPS {
+                continue;
+            }
+            let w = platform.worker(id);
+            let compute = compute_iv[id.index()].expect("participant has compute interval");
+            let ret_len = alpha * w.d;
+            if ret_len <= LOAD_EPS {
+                // No (or negligible) return message: the classical model.
+                // The worker is done at end-of-compute and the port chain is
+                // untouched.
+                ret_iv[id.index()] = Some((
+                    0.0,
+                    Interval {
+                        start: compute.end,
+                        end: compute.end,
+                    },
+                ));
+                continue;
+            }
+            let start = port_free.max(compute.end);
+            let ret = Interval {
+                start,
+                end: start + ret_len,
+            };
+            port_free = ret.end;
+            ret_iv[id.index()] = Some((start - compute.end, ret));
+        }
+
+        // Assemble in send order.
+        for &id in schedule.send_order() {
+            if schedule.load(id) <= LOAD_EPS {
+                continue;
+            }
+            let (idle, ret) = ret_iv[id.index()].expect("participant has return interval");
+            entries.push(WorkerTimeline {
+                worker: id,
+                send: send_iv[id.index()].expect("participant has send interval"),
+                compute: compute_iv[id.index()].expect("participant has compute interval"),
+                idle,
+                ret,
+            });
+        }
+        Timeline { entries, model }
+    }
+
+    /// Per-worker timing entries (participants only, in send order).
+    pub fn entries(&self) -> &[WorkerTimeline] {
+        &self.entries
+    }
+
+    /// The port model this timeline was built for.
+    pub fn model(&self) -> PortModel {
+        self.model
+    }
+
+    /// Timing entry for a specific worker, if it participates.
+    pub fn entry(&self, id: WorkerId) -> Option<&WorkerTimeline> {
+        self.entries.iter().find(|e| e.worker == id)
+    }
+
+    /// Completion time of the whole schedule (0 for an empty schedule).
+    pub fn makespan(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| e.ret.end.max(e.compute.end))
+            .fold(0.0, f64::max)
+    }
+
+    /// Independently re-checks every constraint of the model and returns
+    /// the list of violations (empty = feasible). `tol` is the timing
+    /// tolerance.
+    pub fn verify(&self, platform: &Platform, schedule: &Schedule, tol: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        for e in &self.entries {
+            let alpha = schedule.load(e.worker);
+            let w = platform.worker(e.worker);
+            if (e.send.len() - alpha * w.c).abs() > tol {
+                violations.push(format!(
+                    "{}: send duration {} != alpha*c = {}",
+                    e.worker,
+                    e.send.len(),
+                    alpha * w.c
+                ));
+            }
+            if (e.compute.len() - alpha * w.w).abs() > tol {
+                violations.push(format!(
+                    "{}: compute duration {} != alpha*w = {}",
+                    e.worker,
+                    e.compute.len(),
+                    alpha * w.w
+                ));
+            }
+            if !e.ret.is_empty() && (e.ret.len() - alpha * w.d).abs() > tol {
+                violations.push(format!(
+                    "{}: return duration {} != alpha*d = {}",
+                    e.worker,
+                    e.ret.len(),
+                    alpha * w.d
+                ));
+            }
+            if e.compute.start < e.send.end - tol {
+                violations.push(format!("{}: computes before reception ends", e.worker));
+            }
+            if e.ret.start < e.compute.end - tol {
+                violations.push(format!("{}: returns before compute ends", e.worker));
+            }
+            if e.send.start < -tol {
+                violations.push(format!("{}: negative start time", e.worker));
+            }
+            if e.idle < -tol {
+                violations.push(format!("{}: negative idle {}", e.worker, e.idle));
+            }
+        }
+
+        // Master port exclusivity.
+        let sends: Vec<Interval> = self.entries.iter().map(|e| e.send).collect();
+        let rets: Vec<Interval> = self
+            .entries
+            .iter()
+            .map(|e| e.ret)
+            .filter(|r| !r.is_empty())
+            .collect();
+        let check_disjoint = |ivs: &[Interval], label: &str, violations: &mut Vec<String>| {
+            for (i, a) in ivs.iter().enumerate() {
+                for b in &ivs[i + 1..] {
+                    if a.overlaps(b, tol) {
+                        violations.push(format!("overlapping {label} intervals"));
+                    }
+                }
+            }
+        };
+        match self.model {
+            PortModel::OnePort => {
+                let mut all = sends.clone();
+                all.extend(rets.iter().copied());
+                check_disjoint(&all, "one-port", &mut violations);
+            }
+            PortModel::TwoPort => {
+                check_disjoint(&sends, "send-port", &mut violations);
+                check_disjoint(&rets, "receive-port", &mut violations);
+            }
+        }
+
+        // Orders respected.
+        let participating: Vec<WorkerId> = schedule.participants();
+        let mut last = f64::NEG_INFINITY;
+        for id in &participating {
+            let s = self.entry(*id).expect("participant entry").send.start;
+            if s < last - tol {
+                violations.push("send order violated".into());
+            }
+            last = s;
+        }
+        let mut last = f64::NEG_INFINITY;
+        for id in schedule.return_order() {
+            if let Some(e) = self.entry(*id) {
+                if e.ret.is_empty() {
+                    continue;
+                }
+                if e.ret.start < last - tol {
+                    violations.push("return order violated".into());
+                }
+                last = e.ret.start;
+            }
+        }
+        violations
+    }
+}
+
+/// Convenience: earliest-feasible makespan of `schedule` on `platform`.
+pub fn makespan(platform: &Platform, schedule: &Schedule, model: PortModel) -> f64 {
+    Timeline::build(platform, schedule, model).makespan()
+}
+
+/// Convenience: achieved throughput `total_load / makespan` (0 for an empty
+/// schedule).
+pub fn throughput(platform: &Platform, schedule: &Schedule, model: PortModel) -> f64 {
+    let ms = makespan(platform, schedule, model);
+    if ms <= 0.0 {
+        0.0
+    } else {
+        schedule.total_load() / ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_platform::Platform;
+
+    fn ids(v: &[usize]) -> Vec<WorkerId> {
+        v.iter().map(|&i| WorkerId(i)).collect()
+    }
+
+    /// Hand-checkable platform: P1 = (c=1, w=2, d=0.5), P2 = (c=2, w=1, d=1).
+    fn platform() -> Platform {
+        Platform::new(vec![
+            dls_platform::Worker::new(1.0, 2.0, 0.5),
+            dls_platform::Worker::new(2.0, 1.0, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn fifo_hand_computed_timeline() {
+        // alpha = (1, 1). Sends: P1 [0,1], P2 [1,3]. Compute: P1 [1,3],
+        // P2 [3,4]. One-port: port free at 3. Returns FIFO (P1 then P2):
+        // P1 ret [3, 3.5] (idle 0), P2 ret [4, 5] (idle 0: max(3.5, 4)=4).
+        let p = platform();
+        let s = Schedule::fifo(&p, ids(&[0, 1]), vec![1.0, 1.0]).unwrap();
+        let t = Timeline::build(&p, &s, PortModel::OnePort);
+        let e = t.entries();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].send, Interval { start: 0.0, end: 1.0 });
+        assert_eq!(e[0].compute, Interval { start: 1.0, end: 3.0 });
+        assert_eq!(e[0].ret, Interval { start: 3.0, end: 3.5 });
+        assert_eq!(e[0].idle, 0.0);
+        assert_eq!(e[1].send, Interval { start: 1.0, end: 3.0 });
+        assert_eq!(e[1].compute, Interval { start: 3.0, end: 4.0 });
+        assert_eq!(e[1].ret, Interval { start: 4.0, end: 5.0 });
+        assert_eq!(e[1].idle, 0.0);
+        assert_eq!(t.makespan(), 5.0);
+        assert!(t.verify(&p, &s, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn lifo_hand_computed_timeline() {
+        // Same loads, LIFO: returns P2 then P1.
+        // P2 ret starts max(port_free=3, compute_end=4) = 4 -> [4,5].
+        // P1 ret starts max(5, 3) = 5 -> [5,5.5]; P1 idle = 5-3 = 2.
+        let p = platform();
+        let s = Schedule::lifo(&p, ids(&[0, 1]), vec![1.0, 1.0]).unwrap();
+        let t = Timeline::build(&p, &s, PortModel::OnePort);
+        let e1 = t.entry(WorkerId(0)).unwrap();
+        let e2 = t.entry(WorkerId(1)).unwrap();
+        assert_eq!(e2.ret, Interval { start: 4.0, end: 5.0 });
+        assert_eq!(e1.ret, Interval { start: 5.0, end: 5.5 });
+        assert_eq!(e1.idle, 2.0);
+        assert_eq!(t.makespan(), 5.5);
+        assert!(t.verify(&p, &s, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn two_port_can_overlap_sends_and_returns() {
+        // Two-port: P1's return may start at its compute end (3.0) even
+        // though the master is still sending to nobody (sends done at 3);
+        // use a third worker to create real overlap.
+        let p = Platform::new(vec![
+            dls_platform::Worker::new(1.0, 0.5, 1.0),
+            dls_platform::Worker::new(2.0, 4.0, 1.0),
+        ])
+        .unwrap();
+        let s = Schedule::fifo(&p, ids(&[0, 1]), vec![1.0, 1.0]).unwrap();
+        let one = Timeline::build(&p, &s, PortModel::OnePort);
+        let two = Timeline::build(&p, &s, PortModel::TwoPort);
+        // One-port: P1 return waits for sends to finish (t=3).
+        assert_eq!(one.entry(WorkerId(0)).unwrap().ret.start, 3.0);
+        // Two-port: P1 returns right after computing (t=1.5).
+        assert_eq!(two.entry(WorkerId(0)).unwrap().ret.start, 1.5);
+        assert!(two.makespan() <= one.makespan());
+        assert!(one.verify(&p, &s, 1e-9).is_empty());
+        assert!(two.verify(&p, &s, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn zero_load_workers_are_skipped() {
+        let p = platform();
+        let s = Schedule::fifo(&p, ids(&[0, 1]), vec![0.0, 1.0]).unwrap();
+        let t = Timeline::build(&p, &s, PortModel::OnePort);
+        assert_eq!(t.entries().len(), 1);
+        assert_eq!(t.entries()[0].worker, WorkerId(1));
+        // P2 now starts receiving at t = 0.
+        assert_eq!(t.entries()[0].send.start, 0.0);
+    }
+
+    #[test]
+    fn no_return_messages_reduce_to_classical_model() {
+        let p = Platform::new(vec![
+            dls_platform::Worker::new(1.0, 2.0, 0.0),
+            dls_platform::Worker::new(2.0, 1.0, 0.0),
+        ])
+        .unwrap();
+        let s = Schedule::fifo(&p, ids(&[0, 1]), vec![1.0, 1.0]).unwrap();
+        let t = Timeline::build(&p, &s, PortModel::OnePort);
+        // Makespan = max(compute ends) = max(3, 4) = 4; no port contention
+        // from returns.
+        assert_eq!(t.makespan(), 4.0);
+        assert!(t.verify(&p, &s, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn makespan_scales_linearly_with_load() {
+        let p = platform();
+        let s = Schedule::fifo(&p, ids(&[0, 1]), vec![1.0, 2.0]).unwrap();
+        let m1 = makespan(&p, &s, PortModel::OnePort);
+        let m2 = makespan(&p, &s.scaled(3.0), PortModel::OnePort);
+        assert!((m2 - 3.0 * m1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_is_load_over_makespan() {
+        let p = platform();
+        let s = Schedule::fifo(&p, ids(&[0, 1]), vec![1.0, 1.0]).unwrap();
+        let rho = throughput(&p, &s, PortModel::OnePort);
+        assert!((rho - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_schedule_has_zero_makespan() {
+        let p = platform();
+        let s = Schedule::fifo(&p, ids(&[0, 1]), vec![0.0, 0.0]).unwrap();
+        assert_eq!(makespan(&p, &s, PortModel::OnePort), 0.0);
+        assert_eq!(throughput(&p, &s, PortModel::OnePort), 0.0);
+    }
+
+    #[test]
+    fn verify_catches_tampered_intervals() {
+        let p = platform();
+        let s = Schedule::fifo(&p, ids(&[0, 1]), vec![1.0, 1.0]).unwrap();
+        let mut t = Timeline::build(&p, &s, PortModel::OnePort);
+        // Tamper: make P2's return overlap P1's.
+        t.entries[1].ret.start = t.entries[0].ret.start;
+        let v = t.verify(&p, &s, 1e-9);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn interval_overlap_logic() {
+        let a = Interval { start: 0.0, end: 1.0 };
+        let b = Interval { start: 1.0, end: 2.0 };
+        let c = Interval { start: 0.5, end: 1.5 };
+        assert!(!a.overlaps(&b, 1e-12));
+        assert!(a.overlaps(&c, 1e-12));
+        assert!(c.overlaps(&b, 1e-12));
+    }
+}

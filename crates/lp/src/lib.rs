@@ -1,0 +1,47 @@
+//! # dls-lp — dense two-phase simplex for divisible-load scheduling
+//!
+//! A self-contained linear-programming solver built for the LP formulations
+//! of Beaumont, Marchal, Rehn & Robert, *"FIFO scheduling of divisible loads
+//! with return messages under the one-port model"* (RR-5738, 2005). The
+//! paper solves its scheduling LPs with `lp_solve`; this crate plays that
+//! role for the reproduction.
+//!
+//! The instances of interest are small and dense (`2p` variables, `3p + 1`
+//! constraints for `p` workers), so a dense tableau simplex is the right
+//! tool. Two backends share the same pivoting code through the [`Scalar`]
+//! trait:
+//!
+//! * **`f64`** — the fast default, with explicit tolerances and a
+//!   Dantzig-then-Bland pivot rule for anti-cycling;
+//! * **[`Rational`]** — exact `i128` rationals, used by the test-suite to
+//!   certify the floating-point answers on small instances.
+//!
+//! ## Example
+//!
+//! ```
+//! use dls_lp::{Problem, Relation, solve};
+//!
+//! // maximize x + y  s.t.  2x + y <= 4,  x + 3y <= 6
+//! let mut p = Problem::maximize();
+//! let x = p.add_var("x", 1.0);
+//! let y = p.add_var("y", 1.0);
+//! p.add_constraint("c1", [(x, 2.0), (y, 1.0)], Relation::Le, 4.0);
+//! p.add_constraint("c2", [(x, 1.0), (y, 3.0)], Relation::Le, 6.0);
+//! let sol = solve(&p).unwrap();
+//! assert!((sol.objective - 2.8).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod problem;
+mod rational;
+mod scalar;
+mod simplex;
+
+pub use error::LpError;
+pub use problem::{Constraint, Problem, Relation, Sense, VarId};
+pub use rational::Rational;
+pub use scalar::Scalar;
+pub use simplex::{solve, solve_exact, solve_with, Solution, SolverOptions};

@@ -1,0 +1,379 @@
+//! Linear program description and builder API.
+//!
+//! A [`Problem`] is a linear objective over non-negative variables together
+//! with a list of linear constraints (`<=`, `>=`, `==`). Non-negativity of
+//! every variable is built in: the divisible-load formulations of RR-5738
+//! only ever need `x >= 0` bounds, and fixing the convention keeps the
+//! simplex construction simple and well tested.
+
+use crate::error::LpError;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Maximize the objective.
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `lhs <= rhs`
+    Le,
+    /// `lhs >= rhs`
+    Ge,
+    /// `lhs == rhs`
+    Eq,
+}
+
+/// Opaque handle to a declared variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Index of the variable in solution vectors.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A single linear constraint in sparse form.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// `(variable index, coefficient)` pairs; indices need not be sorted but
+    /// duplicates are summed during standardization.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Relation between lhs and rhs.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+    /// Diagnostic label (also used in error messages).
+    pub label: String,
+}
+
+/// A linear program over non-negative variables.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    sense: Sense,
+    names: Vec<String>,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Creates an empty problem with the given optimization direction.
+    pub fn new(sense: Sense) -> Self {
+        Problem {
+            sense,
+            names: Vec::new(),
+            objective: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor for maximization problems.
+    pub fn maximize() -> Self {
+        Self::new(Sense::Maximize)
+    }
+
+    /// Convenience constructor for minimization problems.
+    pub fn minimize() -> Self {
+        Self::new(Sense::Minimize)
+    }
+
+    /// Declares a non-negative variable with objective coefficient
+    /// `obj_coeff` and returns its handle.
+    pub fn add_var(&mut self, name: impl Into<String>, obj_coeff: f64) -> VarId {
+        self.names.push(name.into());
+        self.objective.push(obj_coeff);
+        VarId(self.names.len() - 1)
+    }
+
+    /// Adds the constraint `sum coeffs . vars  relation  rhs`.
+    pub fn add_constraint(
+        &mut self,
+        label: impl Into<String>,
+        coeffs: impl IntoIterator<Item = (VarId, f64)>,
+        relation: Relation,
+        rhs: f64,
+    ) {
+        self.constraints.push(Constraint {
+            coeffs: coeffs.into_iter().map(|(v, c)| (v.0, c)).collect(),
+            relation,
+            rhs,
+            label: label.into(),
+        });
+    }
+
+    /// Optimization direction.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of variable `v`.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.names[v.0]
+    }
+
+    /// Objective coefficients (one per variable, in declaration order).
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Declared constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Validates indices and finiteness of all coefficients.
+    ///
+    /// Called automatically by the solver; exposed for early error surfacing
+    /// in model-building code.
+    pub fn validate(&self) -> Result<(), LpError> {
+        if self.names.is_empty() {
+            return Err(LpError::Empty);
+        }
+        for (i, &c) in self.objective.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(LpError::NonFiniteCoefficient {
+                    location: format!("objective coefficient of {}", self.names[i]),
+                });
+            }
+        }
+        for con in &self.constraints {
+            if !con.rhs.is_finite() {
+                return Err(LpError::NonFiniteCoefficient {
+                    location: format!("rhs of constraint '{}'", con.label),
+                });
+            }
+            for &(idx, c) in &con.coeffs {
+                if idx >= self.names.len() {
+                    return Err(LpError::UnknownVariable {
+                        index: idx,
+                        declared: self.names.len(),
+                    });
+                }
+                if !c.is_finite() {
+                    return Err(LpError::NonFiniteCoefficient {
+                        location: format!(
+                            "coefficient of {} in constraint '{}'",
+                            self.names[idx], con.label
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns each constraint's lhs as a dense row (duplicate entries
+    /// summed), paired with its relation and rhs. Used by the standardizer.
+    pub(crate) fn dense_rows(&self) -> Vec<(Vec<f64>, Relation, f64)> {
+        self.constraints
+            .iter()
+            .map(|con| {
+                let mut row = vec![0.0; self.names.len()];
+                for &(idx, c) in &con.coeffs {
+                    row[idx] += c;
+                }
+                (row, con.relation, con.rhs)
+            })
+            .collect()
+    }
+
+    /// Evaluates the objective at a point (panics if dimensions mismatch).
+    pub fn eval_objective(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.objective.len(), "dimension mismatch");
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Serializes the problem in the standard **LP file format** (as read
+    /// by CPLEX, Gurobi, HiGHS, glpsol, `lp_solve` — the solver the paper
+    /// used). Handy for certifying this crate's answers against an
+    /// external solver.
+    pub fn to_lp_format(&self) -> String {
+        use std::fmt::Write as _;
+        let sanitize = |s: &str| -> String {
+            s.chars()
+                .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+                .collect()
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            match self.sense {
+                Sense::Maximize => "Maximize",
+                Sense::Minimize => "Minimize",
+            }
+        );
+        let _ = write!(out, " obj:");
+        for (i, &c) in self.objective.iter().enumerate() {
+            if c != 0.0 {
+                let _ = write!(out, " {:+} {}", c, sanitize(&self.names[i]));
+            }
+        }
+        let _ = writeln!(out, "\nSubject To");
+        for (k, con) in self.constraints.iter().enumerate() {
+            let label = if con.label.is_empty() {
+                format!("c{k}")
+            } else {
+                sanitize(&con.label)
+            };
+            let _ = write!(out, " {label}:");
+            let mut dense = vec![0.0; self.names.len()];
+            for &(idx, c) in &con.coeffs {
+                dense[idx] += c;
+            }
+            for (i, &c) in dense.iter().enumerate() {
+                if c != 0.0 {
+                    let _ = write!(out, " {:+} {}", c, sanitize(&self.names[i]));
+                }
+            }
+            let rel = match con.relation {
+                Relation::Le => "<=",
+                Relation::Ge => ">=",
+                Relation::Eq => "=",
+            };
+            let _ = writeln!(out, " {rel} {}", con.rhs);
+        }
+        // All variables are non-negative by this crate's convention, which
+        // is the LP-format default — no Bounds section needed.
+        let _ = writeln!(out, "End");
+        out
+    }
+
+    /// Checks primal feasibility of `x` within tolerance `tol`.
+    ///
+    /// Returns the first violated constraint label, or `None` if feasible.
+    pub fn check_feasible(&self, x: &[f64], tol: f64) -> Option<String> {
+        if x.iter().any(|&v| v < -tol) {
+            return Some("non-negativity".to_string());
+        }
+        for (row, rel, rhs) in self.dense_rows() {
+            let lhs: f64 = row.iter().zip(x).map(|(c, v)| c * v).sum();
+            let ok = match rel {
+                Relation::Le => lhs <= rhs + tol,
+                Relation::Ge => lhs >= rhs - tol,
+                Relation::Eq => (lhs - rhs).abs() <= tol,
+            };
+            if !ok {
+                let label = self
+                    .constraints
+                    .iter()
+                    .zip(self.dense_rows())
+                    .find(|(_, (r, _, rh))| r == &row && *rh == rhs)
+                    .map(|(c, _)| c.label.clone())
+                    .unwrap_or_default();
+                return Some(label);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_vars_and_constraints() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 2.0);
+        p.add_constraint("cap", [(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.num_constraints(), 1);
+        assert_eq!(p.var_name(x), "x");
+        assert_eq!(p.var_name(y), "y");
+        assert_eq!(p.sense(), Sense::Maximize);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        let p = Problem::maximize();
+        assert_eq!(p.validate(), Err(LpError::Empty));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_variable() {
+        let mut p = Problem::maximize();
+        let _x = p.add_var("x", 1.0);
+        p.constraints.push(Constraint {
+            coeffs: vec![(5, 1.0)],
+            relation: Relation::Le,
+            rhs: 1.0,
+            label: "bad".into(),
+        });
+        assert!(matches!(
+            p.validate(),
+            Err(LpError::UnknownVariable { index: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", f64::NAN);
+        p.add_constraint("c", [(x, 1.0)], Relation::Le, 1.0);
+        assert!(matches!(
+            p.validate(),
+            Err(LpError::NonFiniteCoefficient { .. })
+        ));
+    }
+
+    #[test]
+    fn dense_rows_sum_duplicates() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 1.0);
+        p.add_constraint("dup", [(x, 1.0), (x, 2.0)], Relation::Le, 3.0);
+        let rows = p.dense_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, vec![3.0]);
+    }
+
+    #[test]
+    fn lp_format_export() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("alpha_P1", 1.0);
+        let y = p.add_var("x P2", 0.0); // space gets sanitized
+        p.add_constraint("deadline 1", [(x, 2.0), (y, 1.0)], Relation::Le, 1.0);
+        p.add_constraint("balance", [(x, 1.0), (y, -1.0)], Relation::Eq, 0.0);
+        p.add_constraint("floor", [(y, 1.0)], Relation::Ge, 0.25);
+        let lp = p.to_lp_format();
+        assert!(lp.starts_with("Maximize"));
+        assert!(lp.contains("obj: +1 alpha_P1"));
+        assert!(lp.contains("deadline_1: +2 alpha_P1 +1 x_P2 <= 1"));
+        assert!(lp.contains("balance: +1 alpha_P1 -1 x_P2 = 0"));
+        assert!(lp.contains("floor: +1 x_P2 >= 0.25"));
+        assert!(lp.trim_end().ends_with("End"));
+    }
+
+    #[test]
+    fn eval_and_feasibility() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 3.0);
+        let y = p.add_var("y", 1.0);
+        p.add_constraint("sum", [(x, 1.0), (y, 1.0)], Relation::Le, 2.0);
+        assert_eq!(p.eval_objective(&[1.0, 1.0]), 4.0);
+        assert_eq!(p.check_feasible(&[1.0, 1.0], 1e-9), None);
+        assert!(p.check_feasible(&[3.0, 0.0], 1e-9).is_some());
+        assert_eq!(
+            p.check_feasible(&[-1.0, 0.0], 1e-9).as_deref(),
+            Some("non-negativity")
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Numeric abstraction used by the simplex engine.
+//!
+//! The solver is generic over [`Scalar`] so the same pivoting code runs on
+//! fast `f64` arithmetic (with explicit tolerances) and on exact [`crate::Rational`]
+//! arithmetic (tolerance zero). The exact backend is used in tests to
+//! cross-validate the floating-point path on small instances.
+
+use core::fmt::Debug;
+use core::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A field-like numeric type usable inside the simplex tableau.
+///
+/// Implementations must form an ordered field on the values the solver
+/// produces. `f64` satisfies this up to rounding; [`crate::Rational`] is exact
+/// but may fail loudly on overflow.
+pub trait Scalar:
+    Clone
+    + Debug
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Conversion from `f64` (may round for exact backends).
+    fn from_f64(v: f64) -> Self;
+    /// Conversion to `f64` (may round for exact backends).
+    fn to_f64(&self) -> f64;
+    /// Absolute value.
+    fn abs(&self) -> Self;
+    /// Comparison tolerance: magnitudes at or below this are treated as zero
+    /// by the pivoting logic. Exact backends return zero.
+    fn tolerance() -> Self;
+
+    /// `true` when the value is indistinguishable from zero at the backend's
+    /// tolerance.
+    fn is_zero(&self) -> bool {
+        self.abs() <= Self::tolerance()
+    }
+
+    /// `true` when strictly positive beyond tolerance.
+    fn is_positive(&self) -> bool {
+        *self > Self::tolerance()
+    }
+
+    /// `true` when strictly negative beyond tolerance.
+    fn is_negative(&self) -> bool {
+        *self < -Self::tolerance()
+    }
+}
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+
+    fn one() -> Self {
+        1.0
+    }
+
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+
+    fn abs(&self) -> Self {
+        f64::abs(*self)
+    }
+
+    fn tolerance() -> Self {
+        // Chosen for tableaux whose raw coefficients are O(1)..O(1e3), as is
+        // the case for the divisible-load LPs built by `dls-core`. Pivot
+        // magnitudes below this are numerically meaningless.
+        1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_zero_one_identities() {
+        assert_eq!(<f64 as Scalar>::zero(), 0.0);
+        assert_eq!(<f64 as Scalar>::one(), 1.0);
+        assert_eq!(<f64 as Scalar>::one() + <f64 as Scalar>::zero(), 1.0);
+    }
+
+    #[test]
+    fn f64_sign_predicates_respect_tolerance() {
+        assert!(Scalar::is_zero(&0.0_f64));
+        assert!(Scalar::is_zero(&1e-12_f64));
+        assert!(Scalar::is_zero(&-1e-12_f64));
+        assert!(Scalar::is_positive(&1e-3_f64));
+        assert!(!Scalar::is_positive(&1e-12_f64));
+        assert!(Scalar::is_negative(&-1e-3_f64));
+        assert!(!Scalar::is_negative(&-1e-12_f64));
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let v = 0.372_f64;
+        assert_eq!(<f64 as Scalar>::from_f64(v).to_f64(), v);
+    }
+
+    #[test]
+    fn f64_abs() {
+        assert_eq!(Scalar::abs(&-2.5_f64), 2.5);
+        assert_eq!(Scalar::abs(&2.5_f64), 2.5);
+    }
+}

@@ -1,0 +1,34 @@
+//! # dls-platform — master-worker star platforms for divisible-load scheduling
+//!
+//! Platform and application models for the reproduction of Beaumont,
+//! Marchal, Rehn & Robert, *"FIFO scheduling of divisible loads with return
+//! messages under the one-port model"* (RR-5738, 2005).
+//!
+//! * [`Worker`] / [`Platform`] — the star network of Figure 1 with linear
+//!   per-worker costs `(c, w, d)`;
+//! * [`MatrixApp`] / [`ClusterModel`] — the matrix-product application and
+//!   the `gdsdmi`-cluster cost model used in Section 5 (`z = 1/2`);
+//! * [`PlatformSampler`] — seeded random-platform families of Figures 10-12;
+//! * [`scenario`] — named platforms lifted verbatim from the paper
+//!   (Figure 14's four-worker table, the Figure 9 trace platform).
+//!
+//! ```
+//! use dls_platform::{Platform, WorkerId};
+//!
+//! let p = Platform::star_with_z(&[(2.0, 5.0), (1.0, 3.0)], 0.5).unwrap();
+//! assert_eq!(p.order_by_c(), vec![WorkerId(1), WorkerId(0)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod app;
+mod generator;
+mod platform;
+pub mod scenario;
+mod worker;
+
+pub use app::{ClusterModel, MatrixApp};
+pub use generator::{Heterogeneity, PlatformSampler};
+pub use platform::{Platform, PlatformError};
+pub use worker::{Worker, WorkerId};

@@ -1,0 +1,348 @@
+//! Star-network platform: one master, `p` heterogeneous workers.
+
+use core::fmt;
+
+use crate::worker::{Worker, WorkerId};
+
+/// Errors raised while building a platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// A platform needs at least one worker.
+    Empty,
+    /// A cost parameter was zero, negative, or non-finite.
+    InvalidCost {
+        /// Offending worker.
+        worker: usize,
+        /// Which parameter (`"c"`, `"w"` or `"d"`).
+        param: &'static str,
+        /// The bad value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::Empty => write!(f, "platform has no workers"),
+            PlatformError::InvalidCost {
+                worker,
+                param,
+                value,
+            } => write!(
+                f,
+                "worker P{} has invalid {param} = {value} (must be finite and > 0)",
+                worker + 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// A heterogeneous star platform `S = {P0, P1, .., Pp}` (Figure 1 of the
+/// paper): master `P0` linked to each worker by a dedicated link.
+///
+/// A *bus* platform is the special case where every link has identical
+/// `c` and `d` (worker compute speeds may still differ).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    workers: Vec<Worker>,
+}
+
+impl Platform {
+    /// Builds a platform from explicit workers, validating every cost.
+    ///
+    /// `d` may be zero (the classical no-return-message model); `c` and `w`
+    /// must be strictly positive.
+    pub fn new(workers: Vec<Worker>) -> Result<Self, PlatformError> {
+        if workers.is_empty() {
+            return Err(PlatformError::Empty);
+        }
+        for (i, wk) in workers.iter().enumerate() {
+            for (param, v) in [("c", wk.c), ("w", wk.w)] {
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(PlatformError::InvalidCost {
+                        worker: i,
+                        param,
+                        value: v,
+                    });
+                }
+            }
+            if !wk.d.is_finite() || wk.d < 0.0 {
+                return Err(PlatformError::InvalidCost {
+                    worker: i,
+                    param: "d",
+                    value: wk.d,
+                });
+            }
+        }
+        Ok(Platform { workers })
+    }
+
+    /// Builds a star platform from `(c, w)` pairs with `d = z·c`.
+    pub fn star_with_z(cw: &[(f64, f64)], z: f64) -> Result<Self, PlatformError> {
+        Self::new(
+            cw.iter()
+                .map(|&(c, w)| Worker::with_z(c, w, z))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Builds a bus platform: identical links (`c`, `d`), per-worker compute
+    /// costs `ws`.
+    pub fn bus(c: f64, d: f64, ws: &[f64]) -> Result<Self, PlatformError> {
+        Self::new(ws.iter().map(|&w| Worker::new(c, w, d)).collect())
+    }
+
+    /// Number of workers `p`.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Worker ids in declaration order.
+    pub fn ids(&self) -> impl Iterator<Item = WorkerId> + '_ {
+        (0..self.workers.len()).map(WorkerId)
+    }
+
+    /// The worker with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn worker(&self, id: WorkerId) -> &Worker {
+        &self.workers[id.0]
+    }
+
+    /// All workers in declaration order.
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// `true` when every link has the same `(c, d)` up to relative tolerance
+    /// (i.e. the star degenerates into a bus).
+    pub fn is_bus(&self) -> bool {
+        let first = &self.workers[0];
+        self.workers.iter().all(|w| {
+            rel_eq(w.c, first.c) && rel_eq(w.d, first.d)
+        })
+    }
+
+    /// Returns the application constant `z = d/c` when it is common to all
+    /// workers (up to relative tolerance), `None` otherwise.
+    pub fn common_z(&self) -> Option<f64> {
+        let z0 = self.workers[0].ratio();
+        if self.workers.iter().all(|w| rel_eq(w.ratio(), z0)) {
+            Some(z0)
+        } else {
+            None
+        }
+    }
+
+    /// Mirror platform: every worker's `c` and `d` swapped. A schedule for
+    /// the mirror, with time reversed, is a schedule for the original with
+    /// the same throughput (Section 3, case `z > 1`).
+    pub fn mirror(&self) -> Platform {
+        Platform {
+            workers: self.workers.iter().map(Worker::mirrored).collect(),
+        }
+    }
+
+    /// Worker ids sorted by non-decreasing forward-communication cost `c`
+    /// (the paper's `INC_C` order: "serve fast-communicating workers
+    /// first"). Ties broken by declaration order (stable).
+    pub fn order_by_c(&self) -> Vec<WorkerId> {
+        let mut ids: Vec<WorkerId> = self.ids().collect();
+        ids.sort_by(|a, b| {
+            self.worker(*a)
+                .c
+                .partial_cmp(&self.worker(*b).c)
+                .expect("finite costs")
+        });
+        ids
+    }
+
+    /// Worker ids sorted by non-increasing `c` (optimal FIFO send order when
+    /// `z > 1`, by the mirror argument).
+    pub fn order_by_c_desc(&self) -> Vec<WorkerId> {
+        let mut ids = self.order_by_c();
+        ids.reverse();
+        ids
+    }
+
+    /// Worker ids sorted by non-decreasing compute cost `w` (the paper's
+    /// `INC_W` heuristic: "serve fast-computing workers first").
+    pub fn order_by_w(&self) -> Vec<WorkerId> {
+        let mut ids: Vec<WorkerId> = self.ids().collect();
+        ids.sort_by(|a, b| {
+            self.worker(*a)
+                .w
+                .partial_cmp(&self.worker(*b).w)
+                .expect("finite costs")
+        });
+        ids
+    }
+
+    /// Uniformly scales all communication costs (both `c` and `d`) by `k`.
+    /// `k < 1` models faster links (the paper's "communication power ×10"
+    /// scales by `1/10`).
+    pub fn scale_comm(&self, k: f64) -> Platform {
+        Platform {
+            workers: self
+                .workers
+                .iter()
+                .map(|w| Worker::new(w.c * k, w.w, w.d * k))
+                .collect(),
+        }
+    }
+
+    /// Uniformly scales all computation costs by `k`.
+    pub fn scale_comp(&self, k: f64) -> Platform {
+        Platform {
+            workers: self
+                .workers
+                .iter()
+                .map(|w| Worker::new(w.c, w.w * k, w.d))
+                .collect(),
+        }
+    }
+
+    /// Restriction of the platform to the given workers (in the given
+    /// order); ids in the result are renumbered `0..k`.
+    pub fn restrict(&self, ids: &[WorkerId]) -> Result<Platform, PlatformError> {
+        Platform::new(ids.iter().map(|id| *self.worker(*id)).collect())
+    }
+}
+
+fn rel_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "star platform, {} workers:", self.num_workers())?;
+        for (i, w) in self.workers.iter().enumerate() {
+            writeln!(
+                f,
+                "  P{:<3} c = {:>10.6}  w = {:>10.6}  d = {:>10.6}",
+                i + 1,
+                w.c,
+                w.w,
+                w.d
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Platform {
+        Platform::star_with_z(&[(3.0, 5.0), (1.0, 2.0), (2.0, 9.0)], 0.5).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = sample();
+        assert_eq!(p.num_workers(), 3);
+        assert_eq!(p.worker(WorkerId(0)).c, 3.0);
+        assert_eq!(p.worker(WorkerId(1)).d, 0.5);
+        assert_eq!(p.common_z(), Some(0.5));
+        assert!(!p.is_bus());
+    }
+
+    #[test]
+    fn empty_platform_rejected() {
+        assert_eq!(Platform::new(vec![]), Err(PlatformError::Empty));
+    }
+
+    #[test]
+    fn invalid_costs_rejected() {
+        let bad = Platform::new(vec![Worker::new(0.0, 1.0, 0.5)]);
+        assert!(matches!(
+            bad,
+            Err(PlatformError::InvalidCost { param: "c", .. })
+        ));
+        let bad = Platform::new(vec![Worker::new(1.0, -1.0, 0.5)]);
+        assert!(matches!(
+            bad,
+            Err(PlatformError::InvalidCost { param: "w", .. })
+        ));
+        let bad = Platform::new(vec![Worker::new(1.0, 1.0, f64::NAN)]);
+        assert!(matches!(
+            bad,
+            Err(PlatformError::InvalidCost { param: "d", .. })
+        ));
+    }
+
+    #[test]
+    fn zero_return_cost_allowed() {
+        // The classical DLS model without return messages.
+        let p = Platform::new(vec![Worker::new(1.0, 2.0, 0.0)]).unwrap();
+        assert_eq!(p.worker(WorkerId(0)).d, 0.0);
+    }
+
+    #[test]
+    fn bus_detection() {
+        let bus = Platform::bus(2.0, 1.0, &[1.0, 5.0, 9.0]).unwrap();
+        assert!(bus.is_bus());
+        assert_eq!(bus.common_z(), Some(0.5));
+        assert!(!sample().is_bus());
+    }
+
+    #[test]
+    fn order_by_c_is_stable_nondecreasing() {
+        let p = sample();
+        let order = p.order_by_c();
+        assert_eq!(order, vec![WorkerId(1), WorkerId(2), WorkerId(0)]);
+        let tie = Platform::star_with_z(&[(1.0, 9.0), (1.0, 2.0)], 0.5).unwrap();
+        assert_eq!(tie.order_by_c(), vec![WorkerId(0), WorkerId(1)]);
+    }
+
+    #[test]
+    fn order_by_w() {
+        let p = sample();
+        assert_eq!(
+            p.order_by_w(),
+            vec![WorkerId(1), WorkerId(0), WorkerId(2)]
+        );
+    }
+
+    #[test]
+    fn mirror_swaps_and_inverts_z() {
+        let p = sample();
+        let m = p.mirror();
+        assert_eq!(m.worker(WorkerId(0)).c, 1.5);
+        assert_eq!(m.worker(WorkerId(0)).d, 3.0);
+        let z = m.common_z().unwrap();
+        assert!((z - 2.0).abs() < 1e-12);
+        assert_eq!(m.mirror(), p);
+    }
+
+    #[test]
+    fn scaling() {
+        let p = sample();
+        let fast_comm = p.scale_comm(0.1);
+        assert!((fast_comm.worker(WorkerId(0)).c - 0.3).abs() < 1e-12);
+        assert!((fast_comm.worker(WorkerId(0)).d - 0.15).abs() < 1e-12);
+        assert_eq!(fast_comm.worker(WorkerId(0)).w, 5.0);
+        let fast_comp = p.scale_comp(0.1);
+        assert!((fast_comp.worker(WorkerId(0)).w - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restrict_renumbers() {
+        let p = sample();
+        let r = p.restrict(&[WorkerId(2), WorkerId(0)]).unwrap();
+        assert_eq!(r.num_workers(), 2);
+        assert_eq!(r.worker(WorkerId(0)).w, 9.0);
+        assert_eq!(r.worker(WorkerId(1)).w, 5.0);
+    }
+
+    #[test]
+    fn display_contains_costs() {
+        let s = sample().to_string();
+        assert!(s.contains("3 workers"));
+        assert!(s.contains("P1"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Named platform scenarios taken verbatim from the paper.
+
+use crate::app::{ClusterModel, MatrixApp};
+use crate::platform::Platform;
+
+/// The four-worker resource-selection scenario of Section 5.3.4.
+///
+/// > "We use a platform consisting in 4 workers, where the first 3 workers
+/// > are fast both in computation and in communication, and the last worker
+/// > is slower:
+/// >
+/// > | worker              | 1  | 2 | 3  | 4 |
+/// > |---------------------|----|---|----|---|
+/// > | communication speed | 10 | 8 | 8  | x |
+/// > | computation speed   | 9  | 9 | 10 | 1 |"
+///
+/// `x` is the communication-speed factor of the slow worker: with `x = 1`
+/// the paper finds it is never enrolled; with `x = 3` it is enrolled and
+/// improves the makespan slightly (Figure 14).
+pub fn fig14_factors(x: f64) -> (Vec<f64>, Vec<f64>) {
+    (vec![10.0, 8.0, 8.0, x], vec![9.0, 9.0, 10.0, 1.0])
+}
+
+/// Builds the Figure 14 platform for matrix size `n` (the paper uses
+/// `n = 400`).
+pub fn fig14_platform(x: f64, n: usize) -> Platform {
+    let (comm, comp) = fig14_factors(x);
+    ClusterModel::gdsdmi()
+        .platform(&MatrixApp::new(n), &comm, &comp)
+        .expect("paper factors are valid")
+}
+
+/// A five-worker heterogeneous platform in the spirit of Figure 9's trace
+/// visualisation: workers 1-3 are fast communicators/computers and get
+/// enrolled; workers 4-5 have such slow links that the optimal FIFO
+/// schedule leaves them idle.
+pub fn fig9_like_factors() -> (Vec<f64>, Vec<f64>) {
+    (
+        vec![10.0, 9.0, 8.0, 1.0, 1.0],
+        vec![8.0, 9.0, 7.0, 1.0, 1.0],
+    )
+}
+
+/// Builds the Figure 9-style trace platform for matrix size `n`.
+pub fn fig9_platform(n: usize) -> Platform {
+    let (comm, comp) = fig9_like_factors();
+    ClusterModel::gdsdmi()
+        .platform(&MatrixApp::new(n), &comm, &comp)
+        .expect("factors are valid")
+}
+
+/// The linearity-test speed factors of Figure 8: five workers whose
+/// (simulated) communication speeds differ.
+pub fn fig8_comm_factors() -> Vec<f64> {
+    vec![1.0, 2.0, 3.0, 4.0, 5.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14_platform_shape() {
+        let p = fig14_platform(1.0, 400);
+        assert_eq!(p.num_workers(), 4);
+        // Worker 4 with x = 1 has the slowest link (largest c).
+        let cs: Vec<f64> = p.workers().iter().map(|w| w.c).collect();
+        assert!(cs[3] > cs[0] && cs[3] > cs[1] && cs[3] > cs[2]);
+        // Worker 4 is also the slowest computer.
+        let ws: Vec<f64> = p.workers().iter().map(|w| w.w).collect();
+        assert!(ws[3] > ws[2]);
+        assert!((p.common_z().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig14_x_speeds_up_worker4() {
+        let slow = fig14_platform(1.0, 400);
+        let fast = fig14_platform(3.0, 400);
+        assert!(fast.workers()[3].c < slow.workers()[3].c);
+        assert_eq!(fast.workers()[3].w, slow.workers()[3].w);
+    }
+
+    #[test]
+    fn fig9_platform_has_five_workers() {
+        let p = fig9_platform(200);
+        assert_eq!(p.num_workers(), 5);
+        assert!(!p.is_bus());
+    }
+
+    #[test]
+    fn fig8_factors() {
+        assert_eq!(fig8_comm_factors().len(), 5);
+    }
+}

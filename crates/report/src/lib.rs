@@ -1,0 +1,25 @@
+//! # dls-report — experiment plumbing
+//!
+//! Small, dependency-free toolkit shared by the figure harnesses and
+//! benchmarks of the RR-5738 reproduction:
+//!
+//! * [`Table`] — aligned monospace tables (the "rows the paper reports");
+//! * [`summarize`] / [`linear_fit`] — statistics for averaged sweeps and
+//!   the Figure 8 linearity check;
+//! * [`write_dat`] — gnuplot-friendly series files for regenerating plots;
+//! * [`par_map`] — scoped-thread parallel map for the 50-platform sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod output;
+mod par;
+mod regression;
+mod stats;
+mod table;
+
+pub use output::{write_dat, write_text, Series};
+pub use par::par_map;
+pub use regression::{linear_fit, LinearFit};
+pub use stats::{geometric_mean, mean, percentile, summarize, Summary};
+pub use table::{num, Align, Table};

@@ -1,0 +1,124 @@
+//! File output helpers: CSV/DAT series files for external plotting.
+//!
+//! Every figure harness writes a gnuplot-friendly `.dat` file next to its
+//! stdout table so the paper's plots can be regenerated with any plotting
+//! tool. Writers are buffered per the I/O guidance in the project's
+//! performance references.
+
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// A named series of `(x, y)` points sharing an x-axis.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label (also the column header).
+    pub name: String,
+    /// y values, aligned with the shared x vector.
+    pub ys: Vec<f64>,
+}
+
+impl Series {
+    /// New series.
+    pub fn new(name: impl Into<String>, ys: Vec<f64>) -> Self {
+        Series {
+            name: name.into(),
+            ys,
+        }
+    }
+}
+
+/// Writes a whitespace-separated `.dat` file: first column x, one column
+/// per series, with a `#`-prefixed header line.
+///
+/// # Panics
+/// Panics when series lengths disagree with `xs` (harness bug).
+pub fn write_dat(
+    path: &Path,
+    x_label: &str,
+    xs: &[f64],
+    series: &[Series],
+) -> std::io::Result<()> {
+    for s in series {
+        assert_eq!(
+            s.ys.len(),
+            xs.len(),
+            "series '{}' has {} points for {} x values",
+            s.name,
+            s.ys.len(),
+            xs.len()
+        );
+    }
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    write!(w, "# {x_label}")?;
+    for s in series {
+        write!(w, "\t{}", s.name.replace(char::is_whitespace, "_"))?;
+    }
+    writeln!(w)?;
+    for (i, x) in xs.iter().enumerate() {
+        write!(w, "{x}")?;
+        for s in series {
+            write!(w, "\t{:.9}", s.ys[i])?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Writes arbitrary text to `path`, creating parent directories.
+pub fn write_text(path: &Path, content: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(content.as_bytes())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dls_report_test_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn dat_roundtrip() {
+        let path = tmp("dat").join("series.dat");
+        write_dat(
+            &path,
+            "size",
+            &[1.0, 2.0],
+            &[
+                Series::new("a b", vec![0.5, 0.6]),
+                Series::new("c", vec![1.5, 1.6]),
+            ],
+        )
+        .unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines[0], "# size\ta_b\tc");
+        assert!(lines[1].starts_with("1\t0.5"));
+        assert_eq!(lines.len(), 3);
+        fs::remove_dir_all(tmp("dat")).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "points for")]
+    fn mismatched_series_panics() {
+        let path = tmp("bad").join("x.dat");
+        let _ = write_dat(&path, "x", &[1.0], &[Series::new("s", vec![])]);
+    }
+
+    #[test]
+    fn write_text_creates_dirs() {
+        let path = tmp("txt").join("deep").join("note.txt");
+        write_text(&path, "hello").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "hello");
+        fs::remove_dir_all(tmp("txt")).ok();
+    }
+}

@@ -1,0 +1,104 @@
+//! Minimal scoped-thread parallel map for embarrassingly parallel sweeps.
+//!
+//! The figure harnesses evaluate 50 random platforms × several heuristics
+//! per matrix size; each evaluation is an independent LP solve plus a
+//! simulation, so a static block partition over `std::thread::scope` is all
+//! the parallelism the workload needs (no rayon dependency; see
+//! `DESIGN.md` §7).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every element of `items` in parallel, preserving order.
+///
+/// Work is distributed dynamically via an atomic cursor so uneven item
+/// costs (LPs of different sizes) balance across threads. Runs inline when
+/// `items` is small or only one CPU is available.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = available_threads().min(n.max(1));
+    if threads <= 1 || n < 2 {
+        return items.iter().map(&f).collect();
+    }
+
+    let mut results: Vec<Option<U>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let cursor = AtomicUsize::new(0);
+    let slots = std::sync::Mutex::new(&mut results);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                // Each worker claims indices off the shared cursor and
+                // buffers its outputs locally to keep the mutex cold.
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                let mut guard = slots.lock().expect("no poisoned threads");
+                for (i, v) in local {
+                    guard[i] = Some(v);
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|v| v.expect("every index was claimed"))
+        .collect()
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_empty_and_singleton() {
+        let out: Vec<u64> = par_map(&[], |&x: &u64| x);
+        assert!(out.is_empty());
+        assert_eq!(par_map(&[7], |&x: &i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs still produce correct results.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x % 7) * 10_000 {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn closures_can_capture() {
+        let offset = 100;
+        let out = par_map(&[1, 2, 3], |&x: &i32| x + offset);
+        assert_eq!(out, vec![101, 102, 103]);
+    }
+}

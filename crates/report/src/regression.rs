@@ -1,0 +1,101 @@
+//! Ordinary least-squares linear regression.
+//!
+//! Used by the Figure 8 reproduction: the paper fits transfer time against
+//! message size to check that the linear cost model holds and "no latency
+//! needs to be taken into account" — i.e. slope ≈ 1/bandwidth and intercept
+//! ≈ 0, with R² ≈ 1.
+
+/// Result of fitting `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect linear fit).
+    pub r_squared: f64,
+}
+
+/// Least-squares fit; `None` when fewer than two distinct x values exist.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    assert_eq!(xs.len(), ys.len(), "mismatched sample lengths");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let xm = xs.iter().sum::<f64>() / n as f64;
+    let ym = ys.iter().sum::<f64>() / n as f64;
+    let sxx: f64 = xs.iter().map(|x| (x - xm).powi(2)).sum();
+    if sxx <= f64::EPSILON {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - xm) * (y - ym)).sum();
+    let slope = sxy / sxx;
+    let intercept = ym - slope * xm;
+
+    let ss_tot: f64 = ys.iter().map(|y| (y - ym).powi(2)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot <= f64::EPSILON {
+        1.0
+    } else {
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x + 1.0).collect();
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 2.5).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_good_r2() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 3.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 3.0).abs() < 0.01);
+        assert!(f.r_squared > 0.99);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(linear_fit(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn constant_y_has_r2_one() {
+        let f = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 5.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn mismatched_lengths_panic() {
+        let _ = linear_fit(&[1.0], &[1.0, 2.0]);
+    }
+}

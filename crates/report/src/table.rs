@@ -1,0 +1,195 @@
+//! Plain-text tables for figure/table harness output.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple monospace table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers (all right-aligned except
+    /// the first).
+    pub fn new(headers: &[&str]) -> Self {
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Overrides column alignments (must match the header count).
+    pub fn with_aligns(mut self, aligns: &[Align]) -> Self {
+        assert_eq!(aligns.len(), self.headers.len());
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Appends a row of already formatted cells.
+    ///
+    /// # Panics
+    /// Panics when the cell count does not match the header count.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells for {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Appends a row of mixed display values.
+    pub fn row_display(&mut self, cells: &[&dyn std::fmt::Display]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with a header separator.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String], widths: &[usize], aligns: &[Align]| {
+            for i in 0..cols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let cell = &cells[i];
+                let pad = widths[i] - cell.chars().count();
+                match aligns[i] {
+                    Align::Left => {
+                        out.push_str(cell);
+                        out.push_str(&" ".repeat(pad));
+                    }
+                    Align::Right => {
+                        out.push_str(&" ".repeat(pad));
+                        out.push_str(cell);
+                    }
+                }
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.headers, &widths, &self.aligns);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            fmt_row(&mut out, row, &widths, &self.aligns);
+        }
+        out
+    }
+
+    /// Renders as CSV (no alignment, comma-separated, quoted when needed).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats an `f64` with `prec` decimal places (the harness' standard
+/// number format).
+pub fn num(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["alpha".into(), "1.50".into()]);
+        t.row(&["b".into(), "10.25".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned values line up at the end.
+        assert!(lines[2].ends_with("1.50"));
+        assert!(lines[3].ends_with("10.25"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells for")]
+    fn wrong_cell_count_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(&["k", "v"]);
+        t.row(&["with,comma".into(), "with\"quote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"with,comma\""));
+        assert!(csv.contains("\"with\"\"quote\""));
+    }
+
+    #[test]
+    fn num_formatting() {
+        assert_eq!(num(1.23456, 2), "1.23");
+        assert_eq!(num(2.0, 0), "2");
+    }
+
+    #[test]
+    fn row_display_and_count() {
+        let mut t = Table::new(&["x", "y"]);
+        t.row_display(&[&1, &2.5]);
+        assert_eq!(t.num_rows(), 1);
+        assert!(t.render().contains("2.5"));
+    }
+}

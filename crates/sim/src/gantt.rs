@@ -1,0 +1,207 @@
+//! ASCII/Unicode Gantt rendering of execution traces (Figure 9 of the
+//! paper shows exactly this kind of visualisation: data transfers in white,
+//! computation in dark gray, output transfers in pale gray).
+
+use dls_platform::WorkerId;
+
+use crate::trace::{SpanKind, Trace};
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct GanttConfig {
+    /// Number of character columns the makespan is scaled to.
+    pub width: usize,
+    /// Use unicode block characters (`░ █ ▒`) instead of ASCII (`. # o`).
+    pub unicode: bool,
+}
+
+impl Default for GanttConfig {
+    fn default() -> Self {
+        GanttConfig {
+            width: 96,
+            unicode: true,
+        }
+    }
+}
+
+impl GanttConfig {
+    fn glyph(&self, kind: SpanKind) -> char {
+        match (self.unicode, kind) {
+            (true, SpanKind::Recv) => '░',
+            (true, SpanKind::Compute) => '█',
+            (true, SpanKind::Return) => '▒',
+            (false, SpanKind::Recv) => '.',
+            (false, SpanKind::Compute) => '#',
+            (false, SpanKind::Return) => 'o',
+        }
+    }
+
+    fn idle_glyph(&self) -> char {
+        if self.unicode {
+            '·'
+        } else {
+            '-'
+        }
+    }
+}
+
+/// Renders the trace as a Gantt chart: one row for the master's port, one
+/// per worker, plus a legend and time axis.
+pub fn render(trace: &Trace, cfg: &GanttConfig) -> String {
+    let makespan = trace.makespan();
+    let width = cfg.width.max(10);
+    let mut out = String::new();
+
+    if makespan <= 0.0 || trace.spans().is_empty() {
+        out.push_str("(empty trace)\n");
+        return out;
+    }
+
+    let col = |t: f64| -> usize {
+        (((t / makespan) * width as f64).floor() as usize).min(width - 1)
+    };
+
+    let paint = |row: &mut [char], start: f64, end: f64, glyph: char| {
+        if end <= start {
+            return;
+        }
+        let (a, b) = (col(start), col(end - 1e-12).max(col(start)));
+        for cell in row.iter_mut().take(b + 1).skip(a) {
+            *cell = glyph;
+        }
+    };
+
+    // Master row: every port-occupying span.
+    let mut master: Vec<char> = vec![' '; width];
+    for s in trace.spans() {
+        if s.kind.uses_master_port() {
+            paint(&mut master, s.start, s.end, cfg.glyph(s.kind));
+        }
+    }
+    out.push_str(&format!("{:>8} |{}|\n", "master", master.iter().collect::<String>()));
+
+    // Worker rows.
+    for w in trace.workers() {
+        let mut row: Vec<char> = vec![' '; width];
+        // Idle shading between first and last activity.
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in trace.spans_for(w) {
+            lo = lo.min(s.start);
+            hi = hi.max(s.end);
+        }
+        if lo < hi {
+            paint(&mut row, lo, hi, cfg.idle_glyph());
+        }
+        for s in trace.spans_for(w) {
+            paint(&mut row, s.start, s.end, cfg.glyph(s.kind));
+        }
+        out.push_str(&format!(
+            "{:>8} |{}|\n",
+            format_worker(w),
+            row.iter().collect::<String>()
+        ));
+    }
+
+    // Time axis.
+    out.push_str(&format!(
+        "{:>8} |0{}{:.4}s|\n",
+        "",
+        " ".repeat(width.saturating_sub(10)),
+        makespan
+    ));
+    out.push_str(&format!(
+        "legend: {} recv  {} compute  {} return  {} idle\n",
+        cfg.glyph(SpanKind::Recv),
+        cfg.glyph(SpanKind::Compute),
+        cfg.glyph(SpanKind::Return),
+        cfg.idle_glyph()
+    ));
+    out
+}
+
+fn format_worker(w: WorkerId) -> String {
+    format!("{w}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Span;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.push(Span {
+            worker: WorkerId(0),
+            kind: SpanKind::Recv,
+            start: 0.0,
+            end: 1.0,
+        });
+        t.push(Span {
+            worker: WorkerId(0),
+            kind: SpanKind::Compute,
+            start: 1.0,
+            end: 3.0,
+        });
+        t.push(Span {
+            worker: WorkerId(0),
+            kind: SpanKind::Return,
+            start: 3.5,
+            end: 4.0,
+        });
+        t
+    }
+
+    #[test]
+    fn renders_rows_for_master_and_workers() {
+        let s = render(&sample(), &GanttConfig::default());
+        assert!(s.contains("master"));
+        assert!(s.contains("P1"));
+        assert!(s.contains("legend"));
+        // Master row shows both communications but not the compute.
+        let master_line = s.lines().next().unwrap();
+        assert!(master_line.contains('░'));
+        assert!(master_line.contains('▒'));
+        assert!(!master_line.contains('█'));
+    }
+
+    #[test]
+    fn worker_row_shows_all_three_phases_and_idle() {
+        let s = render(&sample(), &GanttConfig::default());
+        let row = s.lines().nth(1).unwrap();
+        for glyph in ['░', '█', '▒', '·'] {
+            assert!(row.contains(glyph), "missing {glyph} in {row}");
+        }
+    }
+
+    #[test]
+    fn ascii_mode_has_no_unicode() {
+        let s = render(
+            &sample(),
+            &GanttConfig {
+                width: 40,
+                unicode: false,
+            },
+        );
+        assert!(s.is_ascii(), "non-ascii output in ascii mode:\n{s}");
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let s = render(&Trace::new(), &GanttConfig::default());
+        assert!(s.contains("empty trace"));
+    }
+
+    #[test]
+    fn width_is_respected() {
+        let cfg = GanttConfig {
+            width: 50,
+            unicode: true,
+        };
+        let s = render(&sample(), &cfg);
+        let first = s.lines().next().unwrap();
+        // "  master |" + 50 cells + "|"
+        let cells = first.split('|').nth(1).unwrap();
+        assert_eq!(cells.chars().count(), 50);
+    }
+}

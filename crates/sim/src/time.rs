@@ -1,0 +1,117 @@
+//! Simulation time: a totally ordered wrapper over `f64` seconds.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, Sub};
+
+/// A point in simulated time (seconds since simulation start).
+///
+/// Construction rejects NaN so the type can implement `Ord` and live inside
+/// a priority queue. Negative times are allowed (useful in tests) but never
+/// produced by the executor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Simulation origin.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Wraps a finite number of seconds.
+    ///
+    /// # Panics
+    /// Panics on NaN or infinity — such times indicate a modeling bug and
+    /// must not propagate silently through the event queue.
+    pub fn new(seconds: f64) -> Self {
+        assert!(seconds.is_finite(), "non-finite SimTime: {seconds}");
+        SimTime(seconds)
+    }
+
+    /// Seconds since simulation start.
+    pub fn seconds(&self) -> f64 {
+        self.0
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, dur: f64) -> SimTime {
+        SimTime::new(self.0 + dur)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+
+    fn sub(self, other: SimTime) -> f64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_max() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+        assert_eq!(a.max(a), a);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::new(1.5) + 0.5;
+        assert_eq!(t.seconds(), 2.0);
+        assert_eq!(t - SimTime::new(0.5), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_rejected() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn inf_rejected_via_add() {
+        let _ = SimTime::new(1.0) + f64::INFINITY;
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::new(0.25).to_string(), "0.250000s");
+    }
+}

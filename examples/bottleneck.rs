@@ -1,0 +1,54 @@
+//! Bottleneck analysis via LP duality: the shadow price of each
+//! constraint of the scheduling LP says what limits a platform — the
+//! master's one-port bandwidth (Theorem 2's comm-bound regime) or
+//! individual workers' timing chains. Watch the bottleneck migrate as the
+//! matrix size grows (compute scales as n³, messages only as n²).
+//!
+//! Run with: `cargo run --release --example bottleneck`
+
+use one_port_dls::core::prelude::*;
+use one_port_dls::core::PortModel;
+use one_port_dls::platform::{ClusterModel, MatrixApp};
+use one_port_dls::report::{num, Table};
+
+fn main() {
+    let cluster = ClusterModel::gdsdmi();
+    let comm = [10.0, 8.0, 6.0, 4.0];
+    let comp = [9.0, 9.0, 10.0, 8.0];
+
+    let mut table = Table::new(&[
+        "n",
+        "rho (units/s)",
+        "port shadow price",
+        "regime",
+        "binding workers",
+    ]);
+    for n in [20usize, 40, 80, 120, 200, 400] {
+        let p = cluster
+            .platform(&MatrixApp::new(n), &comm, &comp)
+            .expect("valid factors");
+        let order = p.order_by_c();
+        let d = diagnose(&p, &order, &order, PortModel::OnePort).expect("lp solves");
+        table.row(&[
+            n.to_string(),
+            num(d.throughput, 3),
+            num(d.port_dual, 4),
+            if d.is_comm_bound() {
+                "comm-bound (port saturated)".into()
+            } else {
+                "compute-bound".into()
+            },
+            format!(
+                "{}/{}",
+                d.binding_workers().len(),
+                p.num_workers()
+            ),
+        ]);
+    }
+    println!("Shadow prices of LP (2): where does the throughput bottleneck live?\n");
+    println!("{}", table.render());
+    println!("Small matrices: messages dominate (n^2) and the one-port constraint");
+    println!("(2b) carries a positive price — buying bandwidth would pay. Large");
+    println!("matrices: computation dominates (n^3), every enrolled worker's");
+    println!("deadline binds instead, and sum(duals) = rho by strong duality.");
+}

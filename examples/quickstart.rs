@@ -1,0 +1,64 @@
+//! Quickstart: build a heterogeneous star platform, compute the optimal
+//! one-port FIFO schedule (Theorem 1 + Proposition 1), inspect it, and
+//! validate it in the simulator.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use one_port_dls::core::prelude::*;
+use one_port_dls::core::PortModel;
+use one_port_dls::platform::Platform;
+use one_port_dls::sim::{gantt, simulate, SimConfig};
+
+fn main() {
+    // Five workers (c = time to ship one load unit, w = time to process
+    // it); return messages are half the input size: z = 1/2.
+    let platform = Platform::star_with_z(
+        &[
+            (2.0, 5.0), // P1: slow link, medium compute
+            (1.0, 4.0), // P2: fast link
+            (3.0, 2.0), // P3: slowest link, fast compute
+            (1.5, 6.0), // P4
+            (2.5, 3.0), // P5
+        ],
+        0.5,
+    )
+    .expect("valid platform");
+    println!("{platform}");
+
+    // Optimal FIFO: serve fast-communicating workers first; the LP decides
+    // who participates at all.
+    let fifo = optimal_fifo(&platform).expect("z-tied platform");
+    println!(
+        "optimal FIFO throughput rho = {:.6} load units per unit time",
+        fifo.throughput
+    );
+    println!("send order: {:?}", fifo.schedule.send_order());
+    for id in fifo.schedule.participants() {
+        println!("  {id} processes alpha = {:.6}", fifo.schedule.load(id));
+    }
+
+    // Compare against the optimal LIFO and the INC_W heuristic.
+    let lifo = optimal_lifo(&platform).expect("z-tied platform");
+    let inc_w = inc_w_fifo(&platform).expect("lp solves");
+    println!("\ncomparison (higher is better):");
+    println!("  optimal FIFO (INC_C): {:.6}", fifo.throughput);
+    println!("  INC_W FIFO heuristic: {:.6}", inc_w.throughput);
+    println!("  optimal LIFO:         {:.6}", lifo.throughput);
+
+    // Certify feasibility independently of the LP.
+    let timeline = Timeline::build(&platform, &fifo.schedule, PortModel::OnePort);
+    assert!(timeline.verify(&platform, &fifo.schedule, 1e-7).is_empty());
+    println!(
+        "\nanalytic makespan of the optimal FIFO schedule: {:.6} (= T)",
+        timeline.makespan()
+    );
+
+    // And replay it in the discrete-event simulator (noise-free run must
+    // reproduce the analytic timeline exactly).
+    let report = simulate(&platform, &fifo.schedule, &SimConfig::ideal());
+    println!("simulated makespan: {:.6}\n", report.makespan);
+    println!(
+        "{}",
+        gantt::render(&report.trace, &gantt::GanttConfig::default())
+    );
+}

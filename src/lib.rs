@@ -1,0 +1,34 @@
+//! # one-port-dls — facade crate
+//!
+//! Single-import access to the complete reproduction of Beaumont, Marchal,
+//! Rehn & Robert, *"FIFO scheduling of divisible loads with return messages
+//! under the one-port model"* (INRIA RR-5738, 2005 / IPDPS 2006).
+//!
+//! Re-exports the workspace crates:
+//!
+//! * [`lp`] — dense two-phase simplex (f64 + exact rational backends);
+//! * [`platform`] — star/bus platforms, random families, the matrix-product
+//!   application model;
+//! * [`core`] — the paper's algorithms: scenario LPs, optimal FIFO/LIFO,
+//!   Theorem 2 closed forms, brute-force ground truth, rounding;
+//! * [`sim`] — the discrete-event star-network simulator (MPI-testbed
+//!   substitute);
+//! * [`report`] — tables, statistics, series files, parallel map.
+//!
+//! ```
+//! use one_port_dls::core::prelude::*;
+//! use one_port_dls::platform::Platform;
+//!
+//! let p = Platform::star_with_z(&[(2.0, 5.0), (1.0, 4.0)], 0.5).unwrap();
+//! let best = optimal_fifo(&p).unwrap();
+//! assert!(best.throughput > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dls_core as core;
+pub use dls_lp as lp;
+pub use dls_platform as platform;
+pub use dls_report as report;
+pub use dls_sim as sim;

@@ -1,0 +1,109 @@
+//! Integration tests for the affine-cost extension: cross-checks between
+//! the affine LP, the affine analytic makespan, and the simulator's
+//! per-message latency model.
+
+use one_port_dls::core::prelude::*;
+use one_port_dls::platform::Platform;
+use one_port_dls::sim::{simulate, Noise, RealismModel, SimConfig};
+use proptest::prelude::*;
+
+fn cost() -> impl Strategy<Value = f64> {
+    (1u32..=40).prop_map(|v| v as f64 / 4.0)
+}
+
+fn star(n: usize) -> impl Strategy<Value = Platform> {
+    prop::collection::vec((cost(), cost()), n..=n)
+        .prop_map(|cw| Platform::star_with_z(&cw, 0.5).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The simulator with uniform per-message latency reproduces the
+    /// affine analytic makespan exactly (noise off).
+    #[test]
+    fn simulator_latency_matches_affine_makespan(
+        p in star(4),
+        lat_grid in 0u32..=8,
+    ) {
+        let latency = lat_grid as f64 / 100.0;
+        let lat = AffineLatencies::uniform(4, latency, latency);
+        // Any FIFO schedule will do; use the linear-model optimum.
+        let sol = optimal_fifo(&p).unwrap();
+        let analytic = affine_makespan(&p, &lat, &sol.schedule);
+        let sim = simulate(
+            &p,
+            &sol.schedule,
+            &SimConfig {
+                realism: RealismModel {
+                    comm_noise: Noise::None,
+                    comp_noise: Noise::None,
+                    comm_latency: latency,
+                    comp_inflation: 1.0,
+                },
+                ..SimConfig::ideal()
+            },
+        )
+        .makespan;
+        prop_assert!(
+            (analytic - sim).abs() < 1e-9,
+            "affine analytic {analytic} vs simulated {sim}"
+        );
+    }
+
+    /// The affine LP optimum, executed under the affine timing, fills the
+    /// horizon exactly.
+    #[test]
+    fn affine_optimum_saturates_horizon(p in star(4), lat_grid in 0u32..=5) {
+        let latency = lat_grid as f64 / 100.0;
+        let lat = AffineLatencies::uniform(4, latency, latency);
+        let sol = affine_fifo_best_prefix(&p, &lat).unwrap();
+        let ms = affine_makespan(&p, &lat, &sol.schedule);
+        prop_assert!((ms - 1.0).abs() < 1e-6, "affine optimum wasted time: {ms}");
+    }
+
+    /// Affine throughput is monotone non-increasing in the latency.
+    #[test]
+    fn throughput_monotone_in_latency(p in star(4)) {
+        let mut last = f64::INFINITY;
+        for lat_steps in 0..6 {
+            let latency = lat_steps as f64 / 50.0;
+            let lat = AffineLatencies::uniform(4, latency, latency);
+            let rho = affine_fifo_best_prefix(&p, &lat)
+                .map(|s| s.throughput)
+                .unwrap_or(0.0);
+            prop_assert!(rho <= last + 1e-9,
+                "throughput rose with latency: {last} -> {rho}");
+            last = rho;
+        }
+    }
+
+    /// Zero-latency affine optimum equals the linear-model optimal FIFO
+    /// (subset search included: selection must agree with Proposition 1).
+    #[test]
+    fn zero_latency_subset_matches_proposition1(p in star(4)) {
+        let lat = AffineLatencies::zero(4);
+        let affine = affine_fifo_best_subset(&p, &lat, 16).unwrap();
+        let linear = optimal_fifo(&p).unwrap();
+        prop_assert!(
+            (affine.throughput - linear.throughput).abs() < 1e-6,
+            "affine zero-latency {} vs Proposition 1 {}",
+            affine.throughput,
+            linear.throughput
+        );
+    }
+}
+
+/// Deterministic: a latency so large only one worker fits still yields a
+/// valid single-worker schedule.
+#[test]
+fn extreme_latency_single_worker() {
+    let p = Platform::star_with_z(&[(0.1, 0.2), (0.1, 0.2), (0.1, 0.2)], 0.5).unwrap();
+    let lat = AffineLatencies::uniform(3, 0.35, 0.1);
+    // Three workers would need 3*(0.45) = 1.35 > 1 of pure latency.
+    let sol = affine_fifo_best_subset(&p, &lat, 16).unwrap();
+    assert!(sol.enrolled.len() <= 2);
+    assert!(sol.throughput > 0.0);
+    let ms = affine_makespan(&p, &lat, &sol.schedule);
+    assert!(ms <= 1.0 + 1e-9);
+}

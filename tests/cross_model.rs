@@ -1,0 +1,124 @@
+//! Cross-model dominance relations that the theory dictates:
+//!
+//! * two-port >= one-port for the same scenario;
+//! * removing return messages can only help;
+//! * the best permutation pair >= best FIFO >= any fixed FIFO order;
+//! * optimal LIFO == exhaustive LIFO (companion-paper characterization);
+//! * one-port LIFO == two-port LIFO (returns never overlap sends).
+
+use one_port_dls::core::brute_force::{best_fifo, best_lifo, best_scenario};
+use one_port_dls::core::prelude::*;
+use one_port_dls::core::PortModel;
+use one_port_dls::platform::Platform;
+use proptest::prelude::*;
+
+fn cost() -> impl Strategy<Value = f64> {
+    (1u32..=40).prop_map(|v| v as f64 / 4.0)
+}
+
+fn star(n: usize) -> impl Strategy<Value = Platform> {
+    prop::collection::vec((cost(), cost()), n..=n)
+        .prop_map(|cw| Platform::star_with_z(&cw, 0.5).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn two_port_dominates_one_port(p in star(4)) {
+        let order = p.order_by_c();
+        let one = solve_fifo(&p, &order, PortModel::OnePort).unwrap();
+        let two = solve_fifo(&p, &order, PortModel::TwoPort).unwrap();
+        prop_assert!(two.throughput >= one.throughput - 1e-9);
+        let one_l = solve_lifo(&p, &order, PortModel::OnePort).unwrap();
+        let two_l = solve_lifo(&p, &order, PortModel::TwoPort).unwrap();
+        prop_assert!(two_l.throughput >= one_l.throughput - 1e-9);
+    }
+
+    #[test]
+    fn lifo_one_port_equals_two_port(p in star(4)) {
+        // Canonical LIFO schedules satisfy the one-port constraint for
+        // free, so both models coincide exactly.
+        let order = p.order_by_c();
+        let one = solve_lifo(&p, &order, PortModel::OnePort).unwrap();
+        let two = solve_lifo(&p, &order, PortModel::TwoPort).unwrap();
+        prop_assert!((one.throughput - two.throughput).abs() < 1e-7,
+            "one-port {} != two-port {}", one.throughput, two.throughput);
+    }
+
+    #[test]
+    fn no_return_messages_only_help(p in star(4)) {
+        let with_ret = optimal_fifo(&p).unwrap().throughput;
+        let without = optimal_no_return(&no_return_platform(&p)).unwrap().throughput;
+        prop_assert!(without >= with_ret - 1e-9,
+            "returns helped?! with {} vs without {}", with_ret, without);
+    }
+
+    #[test]
+    fn pair_search_dominates_fixed_schemes(p in star(3)) {
+        let pair = best_scenario(&p, PortModel::OnePort).unwrap().best.throughput;
+        let fifo = best_fifo(&p, PortModel::OnePort).unwrap().best.throughput;
+        let lifo = best_lifo(&p, PortModel::OnePort).unwrap().best.throughput;
+        prop_assert!(pair >= fifo - 1e-9);
+        prop_assert!(pair >= lifo - 1e-9);
+    }
+
+    #[test]
+    fn optimal_lifo_matches_exhaustive(p in star(4)) {
+        let inc_c = optimal_lifo(&p).unwrap().throughput;
+        let brute = best_lifo(&p, PortModel::OnePort).unwrap().best.throughput;
+        prop_assert!((inc_c - brute).abs() < 1e-6,
+            "LIFO INC_C {} vs exhaustive {}", inc_c, brute);
+    }
+
+    /// Adding a worker to the platform never lowers the optimal FIFO
+    /// throughput (the LP can always ignore it).
+    #[test]
+    fn extra_worker_never_hurts(p in star(3), c in cost(), w in cost()) {
+        let base = optimal_fifo(&p).unwrap().throughput;
+        let mut workers = p.workers().to_vec();
+        workers.push(one_port_dls::platform::Worker::with_z(c, w, 0.5));
+        let bigger = Platform::new(workers).unwrap();
+        let more = optimal_fifo(&bigger).unwrap().throughput;
+        prop_assert!(more >= base - 1e-7,
+            "adding a worker hurt: {base} -> {more}");
+    }
+}
+
+/// On at least some instances a free permutation pair strictly beats both
+/// FIFO and LIFO — evidence for why the general problem is hard (the paper
+/// conjectures NP-hardness).
+#[test]
+fn free_permutations_can_strictly_win() {
+    use one_port_dls::platform::Worker;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut found = false;
+    for _ in 0..40 {
+        let workers: Vec<Worker> = (0..3)
+            .map(|_| {
+                Worker::with_z(
+                    rng.gen_range(1..=16) as f64 / 4.0,
+                    rng.gen_range(1..=16) as f64 / 4.0,
+                    0.5,
+                )
+            })
+            .collect();
+        let p = Platform::new(workers).unwrap();
+        let pair = best_scenario(&p, PortModel::OnePort)
+            .unwrap()
+            .best
+            .throughput;
+        let fifo = best_fifo(&p, PortModel::OnePort).unwrap().best.throughput;
+        let lifo = best_lifo(&p, PortModel::OnePort).unwrap().best.throughput;
+        if pair > fifo.max(lifo) + 1e-6 {
+            found = true;
+            break;
+        }
+    }
+    assert!(
+        found,
+        "expected at least one instance where a mixed permutation pair beats FIFO and LIFO"
+    );
+}

@@ -1,0 +1,75 @@
+//! Exact-arithmetic certification of the floating-point pipeline: every
+//! scenario LP solved in f64 is re-solved in `i128` rationals and must
+//! agree to 1e-9 (same optimal basis value — the vertices are rational
+//! functions of the platform data).
+
+use one_port_dls::core::lp_model::{solve_fifo, solve_lifo, solve_scenario_exact};
+use one_port_dls::core::PortModel;
+use one_port_dls::lp::{Rational, Scalar};
+use one_port_dls::platform::Platform;
+use proptest::prelude::*;
+
+/// Quarter-integer costs are exactly representable in both backends.
+fn cost() -> impl Strategy<Value = f64> {
+    (1u32..=20).prop_map(|v| v as f64 / 4.0)
+}
+
+fn star(n: usize) -> impl Strategy<Value = Platform> {
+    prop::collection::vec((cost(), cost()), n..=n)
+        .prop_map(|cw| Platform::star_with_z(&cw, 0.5).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fifo_lp_exact_agreement(p in star(4)) {
+        let order = p.order_by_c();
+        let f = solve_fifo(&p, &order, PortModel::OnePort).unwrap();
+        let (rho, loads) = solve_scenario_exact::<Rational>(
+            &p, &order, &order, PortModel::OnePort).unwrap();
+        prop_assert!((f.throughput - rho.to_f64()).abs() < 1e-9,
+            "f64 {} vs exact {}", f.throughput, rho.to_f64());
+        // Loads agree as well (optimal vertex is unique for generic data;
+        // compare total mass to stay robust to ties).
+        let f_total: f64 = f.schedule.total_load();
+        let e_total: f64 = loads.iter().map(|l| l.to_f64()).sum();
+        prop_assert!((f_total - e_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lifo_lp_exact_agreement(p in star(4)) {
+        let order = p.order_by_c();
+        let f = solve_lifo(&p, &order, PortModel::OnePort).unwrap();
+        let rev: Vec<_> = order.iter().rev().copied().collect();
+        let (rho, _) = solve_scenario_exact::<Rational>(
+            &p, &order, &rev, PortModel::OnePort).unwrap();
+        prop_assert!((f.throughput - rho.to_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_port_exact_agreement(p in star(3)) {
+        let order = p.order_by_c();
+        let f = solve_fifo(&p, &order, PortModel::TwoPort).unwrap();
+        let (rho, _) = solve_scenario_exact::<Rational>(
+            &p, &order, &order, PortModel::TwoPort).unwrap();
+        prop_assert!((f.throughput - rho.to_f64()).abs() < 1e-9);
+    }
+}
+
+/// Exact throughput of the single-worker star is the textbook value
+/// `1/(c + w + d)` — certified in rationals with zero tolerance.
+#[test]
+fn single_worker_closed_form_is_exact() {
+    use one_port_dls::platform::WorkerId;
+    let p = Platform::star_with_z(&[(2.0, 3.0)], 0.5).unwrap();
+    let (rho, loads) = solve_scenario_exact::<Rational>(
+        &p,
+        &[WorkerId(0)],
+        &[WorkerId(0)],
+        PortModel::OnePort,
+    )
+    .unwrap();
+    assert_eq!(rho, Rational::new(1, 6));
+    assert_eq!(loads[0], Rational::new(1, 6));
+}

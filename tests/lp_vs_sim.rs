@@ -1,0 +1,100 @@
+//! Cross-crate invariant: the discrete-event simulator under the ideal
+//! realism model reproduces the analytical timeline of `dls-core` exactly,
+//! for arbitrary schedules and permutation pairs.
+
+use one_port_dls::core::prelude::*;
+use one_port_dls::core::{PortModel, Schedule};
+use one_port_dls::platform::{Platform, WorkerId};
+use one_port_dls::sim::{simulate, SimConfig};
+use proptest::prelude::*;
+
+fn cost() -> impl Strategy<Value = f64> {
+    (1u32..=40).prop_map(|v| v as f64 / 4.0)
+}
+
+/// Random platform + random loads + random permutation pair.
+fn scenario() -> impl Strategy<Value = (Platform, Schedule)> {
+    (2usize..=6).prop_flat_map(|n| {
+        (
+            prop::collection::vec((cost(), cost()), n..=n),
+            prop::collection::vec(0u32..=20, n..=n),
+            Just(n).prop_perturb(|n, mut rng| {
+                let mut order: Vec<usize> = (0..n).collect();
+                // Fisher-Yates with proptest's rng.
+                for i in (1..n).rev() {
+                    let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                    order.swap(i, j);
+                }
+                order
+            }),
+            Just(n).prop_perturb(|n, mut rng| {
+                let mut order: Vec<usize> = (0..n).collect();
+                for i in (1..n).rev() {
+                    let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                    order.swap(i, j);
+                }
+                order
+            }),
+        )
+            .prop_map(|(cw, loads, s1, s2)| {
+                let platform = Platform::star_with_z(&cw, 0.5).expect("valid");
+                let send: Vec<WorkerId> = s1.into_iter().map(WorkerId).collect();
+                let ret: Vec<WorkerId> = s2.into_iter().map(WorkerId).collect();
+                let loads: Vec<f64> = loads.into_iter().map(|l| l as f64 / 4.0).collect();
+                let schedule =
+                    Schedule::new(&platform, send, ret, loads).expect("valid schedule");
+                (platform, schedule)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Simulator == analytic timeline, makespan and per-worker idle.
+    #[test]
+    fn ideal_simulation_equals_analytic_timeline((p, s) in scenario()) {
+        let analytic = Timeline::build(&p, &s, PortModel::OnePort);
+        let sim = simulate(&p, &s, &SimConfig::ideal());
+        prop_assert!(
+            (analytic.makespan() - sim.makespan).abs() < 1e-9,
+            "makespan mismatch: analytic {} vs sim {}",
+            analytic.makespan(),
+            sim.makespan
+        );
+        for e in analytic.entries() {
+            let stats = sim.trace.worker_stats(e.worker).expect("participant traced");
+            prop_assert!((stats.idle - e.idle).abs() < 1e-9,
+                "{}: idle {} vs {}", e.worker, stats.idle, e.idle);
+        }
+    }
+
+    /// Makespan linearity: scaling loads scales the simulated makespan.
+    #[test]
+    fn simulated_makespan_is_linear((p, s) in scenario(), k in 1u32..=5) {
+        let base = simulate(&p, &s, &SimConfig::ideal()).makespan;
+        let scaled = simulate(&p, &s.scaled(k as f64), &SimConfig::ideal()).makespan;
+        prop_assert!((scaled - k as f64 * base).abs() < 1e-6 * (1.0 + scaled));
+    }
+
+    /// The analytic timeline's verifier accepts every simulated-compatible
+    /// schedule (no false positives on feasible inputs).
+    #[test]
+    fn verifier_accepts_feasible_timelines((p, s) in scenario()) {
+        let t = Timeline::build(&p, &s, PortModel::OnePort);
+        let violations = t.verify(&p, &s, 1e-9);
+        prop_assert!(violations.is_empty(), "spurious violations: {violations:?}");
+    }
+
+    /// Jittered runs stay within the noise envelope of the ideal makespan
+    /// (3% Gaussian, truncated at 3 sigma, over <= 3n+1 intervals).
+    #[test]
+    fn jitter_is_bounded((p, s) in scenario(), seed in 0u64..1000) {
+        prop_assume!(s.total_load() > 0.0);
+        let ideal = simulate(&p, &s, &SimConfig::ideal()).makespan;
+        prop_assume!(ideal > 0.0);
+        let jittered = simulate(&p, &s, &SimConfig::jittered(seed)).makespan;
+        prop_assert!((jittered - ideal).abs() / ideal < 0.30,
+            "jitter envelope exceeded: {ideal} -> {jittered}");
+    }
+}

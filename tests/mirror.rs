@@ -1,0 +1,73 @@
+//! The mirror (time-reversal) argument of Section 3: swapping every
+//! worker's `c` and `d` and reading schedules backwards is a throughput-
+//! preserving bijection between the two platforms' schedule spaces.
+
+use one_port_dls::core::prelude::*;
+use one_port_dls::core::{PortModel, Schedule};
+use one_port_dls::platform::{Platform, WorkerId};
+use proptest::prelude::*;
+
+fn cost() -> impl Strategy<Value = f64> {
+    (1u32..=40).prop_map(|v| v as f64 / 4.0)
+}
+
+fn star(z: f64, n: usize) -> impl Strategy<Value = Platform> {
+    prop::collection::vec((cost(), cost()), n..=n)
+        .prop_map(move |cw| Platform::star_with_z(&cw, z).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Mirroring a feasible schedule preserves its makespan on the
+    /// mirrored platform.
+    #[test]
+    fn mirrored_schedule_has_same_makespan(p in star(0.5, 4),
+                                           loads in prop::collection::vec(0u32..=10, 4..=4)) {
+        let order: Vec<WorkerId> = p.ids().collect();
+        let loads: Vec<f64> = loads.into_iter().map(|l| l as f64 / 4.0).collect();
+        let s = Schedule::fifo(&p, order, loads).unwrap();
+        let ms = makespan(&p, &s, PortModel::OnePort);
+        let mirrored_ms = makespan(&p.mirror(), &s.mirror(), PortModel::OnePort);
+        prop_assert!((ms - mirrored_ms).abs() < 1e-9,
+            "mirror changed makespan: {ms} vs {mirrored_ms}");
+    }
+
+    /// Optimal FIFO throughput is mirror-invariant.
+    #[test]
+    fn optimal_fifo_throughput_is_mirror_invariant(p in star(0.5, 4)) {
+        let a = optimal_fifo(&p).unwrap().throughput;
+        let b = optimal_fifo(&p.mirror()).unwrap().throughput;
+        prop_assert!((a - b).abs() < 1e-6, "mirror asymmetry: {a} vs {b}");
+    }
+
+    /// Optimal LIFO throughput is mirror-invariant too.
+    #[test]
+    fn optimal_lifo_throughput_is_mirror_invariant(p in star(0.4, 4)) {
+        let a = optimal_lifo(&p).unwrap().throughput;
+        let b = optimal_lifo(&p.mirror()).unwrap().throughput;
+        prop_assert!((a - b).abs() < 1e-6, "mirror asymmetry: {a} vs {b}");
+    }
+
+    /// Double mirror is the identity on platforms and schedules.
+    #[test]
+    fn mirror_is_involutive(p in star(0.7, 3)) {
+        prop_assert_eq!(p.mirror().mirror(), p.clone());
+        let order: Vec<WorkerId> = p.ids().collect();
+        let s = Schedule::lifo(&p, order, vec![1.0, 2.0, 3.0]).unwrap();
+        prop_assert_eq!(s.mirror().mirror(), s);
+    }
+
+    /// For z > 1 the optimal FIFO send order is non-increasing in c.
+    #[test]
+    fn send_order_flips_for_large_z(p in star(3.0, 4)) {
+        let sol = optimal_fifo(&p).unwrap();
+        let order = sol.schedule.send_order();
+        for w in order.windows(2) {
+            prop_assert!(
+                p.worker(w[0]).c >= p.worker(w[1]).c - 1e-12,
+                "send order not non-increasing in c: {:?}", order
+            );
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Integer rounding meets simulation: the paper rounds LP loads to whole
+//! matrices before running. These tests bound the damage rounding can do
+//! and confirm the rounded schedules stay feasible end to end.
+
+use one_port_dls::core::prelude::*;
+use one_port_dls::core::PortModel;
+use one_port_dls::platform::Platform;
+use one_port_dls::sim::{simulate, SimConfig};
+use proptest::prelude::*;
+
+fn cost() -> impl Strategy<Value = f64> {
+    (1u32..=40).prop_map(|v| v as f64 / 4.0)
+}
+
+fn star(n: usize) -> impl Strategy<Value = Platform> {
+    prop::collection::vec((cost(), cost()), n..=n)
+        .prop_map(|cw| Platform::star_with_z(&cw, 0.5).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Rounded loads sum exactly to M and deviate by at most one unit per
+    /// worker from the ideal fractional assignment.
+    #[test]
+    fn rounding_is_exact_and_tight(p in star(5), m in 1u64..=5000) {
+        let sol = optimal_fifo(&p).unwrap();
+        let counts = round_loads(&sol.schedule, m);
+        prop_assert_eq!(counts.iter().sum::<u64>(), m);
+        let scale = m as f64 / sol.schedule.total_load();
+        for (i, &cnt) in counts.iter().enumerate() {
+            let ideal = sol.schedule.loads()[i] * scale;
+            prop_assert!((cnt as f64 - ideal).abs() <= 1.0 + 1e-9,
+                "worker {i} got {cnt} vs ideal {ideal}");
+        }
+    }
+
+    /// The integer schedule's simulated time converges to the LP
+    /// prediction as M grows: within (q+1)/M relative error plus epsilon,
+    /// because each worker's perturbation is at most one unit.
+    #[test]
+    fn integer_time_approaches_lp_time(p in star(4)) {
+        let sol = optimal_fifo(&p).unwrap();
+        let m = 10_000u64;
+        let lp_time = m as f64 / sol.throughput;
+        let int_sched = integer_schedule(&sol.schedule, m);
+        let sim = simulate(&p, &int_sched, &SimConfig::ideal()).makespan;
+        let rel = (sim - lp_time).abs() / lp_time;
+        prop_assert!(rel < 0.01, "rounding cost too high: {rel}");
+    }
+
+    /// Rounded schedules remain one-port feasible (verifier-clean).
+    #[test]
+    fn integer_schedule_verifies(p in star(4), m in 1u64..=2000) {
+        let sol = optimal_fifo(&p).unwrap();
+        let int_sched = integer_schedule(&sol.schedule, m);
+        let t = Timeline::build(&p, &int_sched, PortModel::OnePort);
+        let violations = t.verify(&p, &int_sched, 1e-7);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    /// Rounding never assigns load to a worker the LP excluded.
+    #[test]
+    fn rounding_respects_selection(p in star(5), m in 1u64..=1000) {
+        let sol = optimal_fifo(&p).unwrap();
+        let counts = round_loads(&sol.schedule, m);
+        for (i, &cnt) in counts.iter().enumerate() {
+            if sol.schedule.loads()[i] == 0.0 {
+                prop_assert_eq!(cnt, 0, "excluded worker {} got {} units", i, cnt);
+            }
+        }
+    }
+}

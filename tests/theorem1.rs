@@ -1,0 +1,115 @@
+//! Theorem 1 certification: on `z`-tied platforms the optimal one-port
+//! FIFO schedule serves workers by non-decreasing `c` (non-increasing for
+//! `z > 1`), with resource selection performed by the LP. Ground truth is
+//! exhaustive enumeration of all FIFO orders.
+
+use one_port_dls::core::brute_force::best_fifo;
+use one_port_dls::core::prelude::*;
+use one_port_dls::core::PortModel;
+use one_port_dls::platform::Platform;
+use proptest::prelude::*;
+
+/// Small positive grid values keep LPs well-conditioned.
+fn cost() -> impl Strategy<Value = f64> {
+    (1u32..=40).prop_map(|v| v as f64 / 4.0)
+}
+
+fn star(z: f64, n: usize) -> impl Strategy<Value = Platform> {
+    prop::collection::vec((cost(), cost()), n..=n)
+        .prop_map(move |cw| Platform::star_with_z(&cw, z).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// z < 1: INC_C with LP loads matches the exhaustive FIFO optimum.
+    #[test]
+    fn inc_c_is_optimal_fifo_for_small_z(p in star(0.5, 4)) {
+        let thm = optimal_fifo(&p).expect("z-tied");
+        let brute = best_fifo(&p, PortModel::OnePort).expect("small");
+        prop_assert!(
+            (thm.throughput - brute.best.throughput).abs() < 1e-6,
+            "Theorem 1 violated: {} vs exhaustive {}",
+            thm.throughput,
+            brute.best.throughput
+        );
+    }
+
+    /// z > 1: the mirror construction matches the exhaustive optimum.
+    #[test]
+    fn mirror_is_optimal_fifo_for_large_z(p in star(2.5, 4)) {
+        let thm = optimal_fifo(&p).expect("z-tied");
+        let brute = best_fifo(&p, PortModel::OnePort).expect("small");
+        prop_assert!(
+            (thm.throughput - brute.best.throughput).abs() < 1e-6,
+            "mirror Theorem 1 violated: {} vs exhaustive {}",
+            thm.throughput,
+            brute.best.throughput
+        );
+    }
+
+    /// z = 1: every order achieves the same FIFO optimum.
+    #[test]
+    fn all_orders_tie_for_z_equal_one(p in star(1.0, 4)) {
+        let by_c = solve_fifo(&p, &p.order_by_c(), PortModel::OnePort).unwrap();
+        let by_c_desc = solve_fifo(&p, &p.order_by_c_desc(), PortModel::OnePort).unwrap();
+        let by_w = solve_fifo(&p, &p.order_by_w(), PortModel::OnePort).unwrap();
+        prop_assert!((by_c.throughput - by_c_desc.throughput).abs() < 1e-6);
+        prop_assert!((by_c.throughput - by_w.throughput).abs() < 1e-6);
+    }
+
+    /// The optimal FIFO schedule is always one-port feasible and fills the
+    /// unit horizon exactly.
+    #[test]
+    fn optimal_fifo_saturates_horizon(p in star(0.5, 5)) {
+        let sol = optimal_fifo(&p).expect("z-tied");
+        let t = Timeline::build(&p, &sol.schedule, PortModel::OnePort);
+        prop_assert!(t.verify(&p, &sol.schedule, 1e-6).is_empty());
+        prop_assert!((t.makespan() - 1.0).abs() < 1e-6,
+            "optimal schedule wastes horizon: {}", t.makespan());
+    }
+
+    /// Idle-time structure of Theorem 1: in the earliest-feasible timing of
+    /// the optimal FIFO schedule, only the last participating worker may
+    /// idle between compute and return.
+    #[test]
+    fn only_last_participant_idles(p in star(0.5, 5)) {
+        let sol = optimal_fifo(&p).expect("z-tied");
+        let t = Timeline::build(&p, &sol.schedule, PortModel::OnePort);
+        let entries = t.entries();
+        for e in entries.iter().take(entries.len().saturating_sub(1)) {
+            prop_assert!(
+                e.idle < 1e-6,
+                "{} idles {} but is not last",
+                e.worker,
+                e.idle
+            );
+        }
+    }
+
+    /// Monotonicity: speeding any link up (lowering c and d) never lowers
+    /// the optimal FIFO throughput.
+    #[test]
+    fn faster_link_never_hurts(p in star(0.5, 4), k in 0usize..4) {
+        let base = optimal_fifo(&p).expect("z-tied").throughput;
+        let mut workers = p.workers().to_vec();
+        workers[k].c *= 0.5;
+        workers[k].d *= 0.5;
+        let faster = Platform::new(workers).unwrap();
+        let improved = optimal_fifo(&faster).expect("z-tied").throughput;
+        prop_assert!(improved >= base - 1e-7,
+            "speeding a link hurt: {base} -> {improved}");
+    }
+}
+
+/// Deterministic regression: the paper's claim that the best FIFO schedule
+/// may not involve all processors.
+#[test]
+fn best_fifo_can_drop_workers() {
+    let p = Platform::star_with_z(&[(0.1, 1.0), (0.1, 1.0), (50.0, 1.0)], 0.5).unwrap();
+    let sol = optimal_fifo(&p).unwrap();
+    assert_eq!(sol.schedule.participants().len(), 2);
+    // Classical no-return theory would enroll everyone.
+    let nr = optimal_no_return(&no_return_platform(&p)).unwrap();
+    assert!(nr.loads.iter().all(|&l| l > 0.0));
+}

@@ -1,0 +1,120 @@
+//! Theorem 2 certification: the closed-form optimal FIFO throughput on a
+//! bus matches Proposition 1's LP, the exact-rational LP, and is invariant
+//! under worker reordering (Adler-Gong-Rosenberg equivalence of FIFO
+//! strategies on a bus).
+
+use one_port_dls::core::closed_form::{bus_fifo, BusRegime};
+use one_port_dls::core::lp_model::solve_scenario_exact;
+use one_port_dls::core::prelude::*;
+use one_port_dls::core::PortModel;
+use one_port_dls::lp::{Rational, Scalar};
+use one_port_dls::platform::Platform;
+use proptest::prelude::*;
+
+fn wcost() -> impl Strategy<Value = f64> {
+    (1u32..=80).prop_map(|v| v as f64 / 8.0)
+}
+
+fn bus() -> impl Strategy<Value = Platform> {
+    (
+        (1u32..=16).prop_map(|v| v as f64 / 4.0),
+        (0u32..=16).prop_map(|v| v as f64 / 8.0),
+        prop::collection::vec(wcost(), 1..=8),
+    )
+        .prop_map(|(c, d, ws)| Platform::bus(c, d, &ws).expect("valid bus"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Closed form == LP optimum over all workers in declaration order.
+    #[test]
+    fn closed_form_matches_lp(p in bus()) {
+        let cf = bus_fifo(&p).expect("bus");
+        let order: Vec<_> = p.ids().collect();
+        let lp = solve_fifo(&p, &order, PortModel::OnePort).expect("lp");
+        prop_assert!(
+            (cf.throughput - lp.throughput).abs() < 1e-6,
+            "closed form {} vs LP {}",
+            cf.throughput,
+            lp.throughput
+        );
+    }
+
+    /// FIFO throughput on a bus does not depend on the service order.
+    #[test]
+    fn fifo_order_invariance_on_bus(p in bus()) {
+        let cf = bus_fifo(&p).expect("bus");
+        let mut rev: Vec<_> = p.ids().collect();
+        rev.reverse();
+        let lp = solve_fifo(&p, &rev, PortModel::OnePort).expect("lp");
+        prop_assert!((cf.throughput - lp.throughput).abs() < 1e-6);
+    }
+
+    /// All workers are enrolled in the optimal bus FIFO solution.
+    #[test]
+    fn all_workers_enrolled(p in bus()) {
+        let cf = bus_fifo(&p).expect("bus");
+        prop_assert!(cf.loads.iter().all(|&l| l > 0.0),
+            "dropped worker on a bus: {:?}", cf.loads);
+    }
+
+    /// The one-port throughput is min(two-port, 1/(c+d)) by construction;
+    /// verify against the two-port LP as well.
+    #[test]
+    fn two_port_term_matches_two_port_lp(p in bus()) {
+        let cf = bus_fifo(&p).expect("bus");
+        let order: Vec<_> = p.ids().collect();
+        let two = solve_fifo(&p, &order, PortModel::TwoPort).expect("lp");
+        prop_assert!(
+            (cf.two_port_throughput - two.throughput).abs() < 1e-6,
+            "rho~ {} vs two-port LP {}",
+            cf.two_port_throughput,
+            two.throughput
+        );
+        let c = p.workers()[0].c;
+        let d = p.workers()[0].d;
+        let expected = cf.two_port_throughput.min(1.0 / (c + d));
+        prop_assert!((cf.throughput - expected).abs() < 1e-9);
+    }
+
+    /// The closed-form schedule is feasible and exactly fills T = 1.
+    #[test]
+    fn closed_form_schedule_is_tight(p in bus()) {
+        let cf = bus_fifo(&p).expect("bus");
+        let s = cf.schedule(&p);
+        let t = Timeline::build(&p, &s, PortModel::OnePort);
+        prop_assert!(t.verify(&p, &s, 1e-6).is_empty());
+        prop_assert!((t.makespan() - 1.0).abs() < 1e-6);
+    }
+}
+
+/// Exact-arithmetic certification on a hand-picked bus: the rational LP
+/// agrees with the f64 closed form to 1e-12.
+#[test]
+fn exact_rational_lp_matches_closed_form() {
+    let p = Platform::bus(1.0, 0.5, &[2.0, 3.0, 5.0, 4.0]).unwrap();
+    let cf = bus_fifo(&p).unwrap();
+    let order: Vec<_> = p.ids().collect();
+    let (rho, loads) =
+        solve_scenario_exact::<Rational>(&p, &order, &order, PortModel::OnePort).unwrap();
+    assert!((cf.throughput - rho.to_f64()).abs() < 1e-12);
+    for (a, b) in cf.loads.iter().zip(&loads) {
+        assert!((a - b.to_f64()).abs() < 1e-9);
+    }
+}
+
+/// Regime boundary: scaling all compute costs down pushes the solution
+/// from compute-bound into the comm-bound regime with gap > 0.
+#[test]
+fn regime_transition() {
+    let slow = Platform::bus(1.0, 0.5, &[20.0, 30.0]).unwrap();
+    let fast = Platform::bus(1.0, 0.5, &[0.02, 0.03]).unwrap();
+    let a = bus_fifo(&slow).unwrap();
+    let b = bus_fifo(&fast).unwrap();
+    assert_eq!(a.regime, BusRegime::ComputeBound);
+    assert_eq!(a.gap, 0.0);
+    assert_eq!(b.regime, BusRegime::CommBound);
+    assert!(b.gap > 0.0);
+    assert!((b.throughput - 1.0 / 1.5).abs() < 1e-12);
+}
