@@ -12,7 +12,9 @@ fn main() {
     let want = |name: &str| all || args.iter().any(|a| a == name);
 
     if want("robustness") {
-        println!("Extension — jitter sensitivity of INC_C vs LIFO (n = 200, M = 1000, 20 platforms)\n");
+        println!(
+            "Extension — jitter sensitivity of INC_C vs LIFO (n = 200, M = 1000, 20 platforms)\n"
+        );
         println!("{}", extensions::robustness(20, 0xE17).render());
     }
     if want("scaling") {

@@ -59,7 +59,13 @@ fn main() {
         println!("{}", table.render());
         println!("({} in {:.1?})\n", stem, started.elapsed());
         let (xs, series) = res.series();
-        write_dat(&out.join(format!("{stem}.dat")), "matrix_size", &xs, &series).expect("dat");
+        write_dat(
+            &out.join(format!("{stem}.dat")),
+            "matrix_size",
+            &xs,
+            &series,
+        )
+        .expect("dat");
         write_text(
             &out.join(format!("{stem}.txt")),
             &format!("{}\n\n{}", res.label, table.render()),

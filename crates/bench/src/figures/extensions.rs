@@ -237,6 +237,9 @@ mod tests {
             );
         }
         assert_eq!(*enrolled.first().unwrap(), 8, "zero latency enrolls all");
-        assert!(*enrolled.last().unwrap() < 8, "heavy latency must drop workers");
+        assert!(
+            *enrolled.last().unwrap() < 8,
+            "heavy latency must drop workers"
+        );
     }
 }

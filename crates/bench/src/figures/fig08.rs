@@ -60,11 +60,7 @@ pub fn run(seed: u64) -> Fig08 {
                 })
                 .collect();
             let fit = linear_fit(&sizes_mb, &times).expect("grid has distinct sizes");
-            WorkerSeries {
-                factor,
-                times,
-                fit,
-            }
+            WorkerSeries { factor, times, fit }
         })
         .collect();
 

@@ -7,11 +7,18 @@
 //! testbed's role:
 //!
 //! 1. draw a platform (speed factors 1..10, family per figure);
-//! 2. per heuristic: solve the scenario LP (`T_lp = M / ρ`), round the
-//!    loads to integers with the paper's policy, simulate the integer
-//!    schedule under seeded jitter (`T_real`);
+//! 2. per strategy: solve through the [`Scheduler`] engine
+//!    (`T_lp = M / ρ`), round the loads to integers with the paper's
+//!    policy, simulate the integer schedule under seeded jitter
+//!    (`T_real`);
 //! 3. average `T_lp`/`T_real` ratios across platforms.
+//!
+//! The strategies compared are *data*, not code: a [`SweepVariant`] names
+//! registry ids (see [`dls_core::registry`]) and the first one is the
+//! normalization baseline. Adding a strategy to a figure is a one-string
+//! change.
 
+use dls_core::engine::Scheduler;
 use dls_core::prelude::*;
 use dls_platform::{ClusterModel, MatrixApp, Platform, PlatformSampler};
 use dls_report::{mean, num, par_map, Series, Table};
@@ -19,7 +26,7 @@ use dls_sim::{simulate, RealismModel, SimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::scenarios::{Heuristic, SweepConfig};
+use crate::scenarios::SweepConfig;
 
 /// Figure-specific variations on the shared sweep.
 #[derive(Debug, Clone)]
@@ -36,9 +43,33 @@ pub struct SweepVariant {
     /// Apply the cache-degradation compute model in the simulated runs
     /// (Fig. 13(b) regime; see `RealismModel::cluster_with_cache_effects`).
     pub cache_effects: bool,
-    /// Include the `INC_W` series (dropped in Fig. 10 where all FIFO
-    /// orders coincide).
-    pub include_inc_w: bool,
+    /// Registry ids of the strategies to compare (see
+    /// [`dls_core::registry`]); the first entry is the normalization
+    /// baseline (the paper normalizes by `INC_C`'s theoretical time).
+    pub schedulers: Vec<String>,
+}
+
+impl SweepVariant {
+    /// Resolves the configured ids against the scheduler registry.
+    ///
+    /// # Panics
+    /// Panics on an id absent from [`dls_core::registry`] — a sweep over a
+    /// nonexistent strategy is a configuration bug, not a runtime
+    /// condition.
+    pub fn resolve_schedulers(&self) -> Vec<Box<dyn Scheduler>> {
+        assert!(
+            !self.schedulers.is_empty(),
+            "sweep variant '{}' names no schedulers",
+            self.label
+        );
+        self.schedulers
+            .iter()
+            .map(|id| {
+                dls_core::lookup(id)
+                    .unwrap_or_else(|| panic!("unknown scheduler '{id}' in sweep variant"))
+            })
+            .collect()
+    }
 }
 
 /// One averaged output row (one matrix size).
@@ -46,10 +77,11 @@ pub struct SweepVariant {
 pub struct SweepRow {
     /// Matrix size `n`.
     pub size: usize,
-    /// Average theoretical `INC_C` time in seconds (the paper's absolute
+    /// Average theoretical baseline time in seconds (the paper's absolute
     /// reference curve "INC_C lp").
-    pub inc_c_lp: f64,
-    /// `(series name, averaged ratio vs INC_C lp)` in a fixed order.
+    pub baseline_lp: f64,
+    /// `(series name, averaged ratio vs the baseline lp time)` in a fixed
+    /// order.
     pub ratios: Vec<(String, f64)>,
 }
 
@@ -58,6 +90,8 @@ pub struct SweepRow {
 pub struct SweepResult {
     /// Figure label.
     pub label: String,
+    /// Legend of the normalization baseline (first configured scheduler).
+    pub baseline: String,
     /// One row per matrix size.
     pub rows: Vec<SweepRow>,
 }
@@ -65,14 +99,14 @@ pub struct SweepResult {
 impl SweepResult {
     /// Renders the rows as an aligned table (the paper's plotted series).
     pub fn table(&self) -> Table {
-        let mut headers: Vec<String> = vec!["n".into(), "INC_C lp (s)".into()];
+        let mut headers: Vec<String> = vec!["n".into(), format!("{} lp (s)", self.baseline)];
         if let Some(row) = self.rows.first() {
             headers.extend(row.ratios.iter().map(|(name, _)| name.clone()));
         }
         let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
         let mut t = Table::new(&header_refs);
         for row in &self.rows {
-            let mut cells = vec![row.size.to_string(), num(row.inc_c_lp, 3)];
+            let mut cells = vec![row.size.to_string(), num(row.baseline_lp, 3)];
             cells.extend(row.ratios.iter().map(|(_, v)| num(*v, 4)));
             t.row(&cells);
         }
@@ -80,12 +114,12 @@ impl SweepResult {
     }
 
     /// Exports the x vector and one series per ratio column (plus the
-    /// absolute `INC_C lp` curve) for `.dat` output.
+    /// absolute baseline curve) for `.dat` output.
     pub fn series(&self) -> (Vec<f64>, Vec<Series>) {
         let xs: Vec<f64> = self.rows.iter().map(|r| r.size as f64).collect();
         let mut out = vec![Series::new(
-            "INC_C lp seconds",
-            self.rows.iter().map(|r| r.inc_c_lp).collect(),
+            format!("{} lp seconds", self.baseline),
+            self.rows.iter().map(|r| r.baseline_lp).collect(),
         )];
         if let Some(first) = self.rows.first() {
             for (k, (name, _)) in first.ratios.iter().enumerate() {
@@ -99,20 +133,22 @@ impl SweepResult {
     }
 }
 
-/// Heuristic outcome on one platform at one size.
+/// Strategy outcome on one platform at one size.
 struct Outcome {
     lp_time: f64,
     real_time: f64,
 }
 
-fn run_heuristic(
+fn run_scheduler(
     platform: &Platform,
-    h: Heuristic,
+    scheduler: &dyn Scheduler,
     total_units: u64,
     realism: RealismModel,
     seed: u64,
 ) -> Outcome {
-    let sol = h.solve(platform).expect("heuristic LP always solvable");
+    let sol = scheduler
+        .solve(platform)
+        .unwrap_or_else(|e| panic!("{} failed in sweep: {e}", scheduler.name()));
     // Theoretical time for M units: linearity gives T = M / rho.
     let lp_time = total_units as f64 / sol.throughput;
     let int_sched = integer_schedule(&sol.schedule, total_units);
@@ -132,8 +168,17 @@ fn run_heuristic(
 }
 
 /// Runs the full sweep for a figure variant.
+///
+/// # Panics
+/// Every configured strategy must solve every platform the variant's
+/// sampler can draw (partial strategies like `bus_fifo` or the
+/// size-guarded exhaustive searches do not belong in sweeps). This is
+/// checked up front against the first sampled platform so a
+/// misconfiguration fails immediately with the strategy's own error,
+/// rather than aborting a worker thread mid-sweep.
 pub fn run_sweep(cfg: &SweepConfig, variant: &SweepVariant) -> SweepResult {
     let cluster = ClusterModel::gdsdmi();
+    let schedulers = variant.resolve_schedulers();
 
     // Draw each platform's speed factors once (independent of matrix size),
     // exactly like reusing the same physical cluster across sizes.
@@ -144,11 +189,23 @@ pub fn run_sweep(cfg: &SweepConfig, variant: &SweepVariant) -> SweepResult {
         })
         .collect();
 
-    let heuristics: Vec<Heuristic> = if variant.include_inc_w {
-        vec![Heuristic::IncC, Heuristic::IncW, Heuristic::Lifo]
-    } else {
-        vec![Heuristic::IncC, Heuristic::Lifo]
-    };
+    // Fail fast on strategies that do not apply to this platform family.
+    if let (Some((comm, comp)), Some(&n)) = (factor_sets.first(), cfg.sizes.first()) {
+        let probe = cluster
+            .platform(&MatrixApp::new(n), comm, comp)
+            .expect("sampled factors valid")
+            .scale_comp(variant.comp_scale)
+            .scale_comm(variant.comm_scale);
+        for s in &schedulers {
+            if let Err(e) = s.solve(&probe) {
+                panic!(
+                    "sweep '{}': strategy '{}' cannot solve this platform family: {e}",
+                    variant.label,
+                    s.name()
+                );
+            }
+        }
+    }
 
     let mut rows = Vec::with_capacity(cfg.sizes.len());
     for &n in &cfg.sizes {
@@ -166,61 +223,66 @@ pub fn run_sweep(cfg: &SweepConfig, variant: &SweepVariant) -> SweepResult {
                 .expect("sampled factors valid")
                 .scale_comp(variant.comp_scale)
                 .scale_comm(variant.comm_scale);
-            heuristics
+            schedulers
                 .iter()
                 .enumerate()
-                .map(|(hi, &h)| {
-                    // Seed mixes platform identity, size and heuristic so
+                .map(|(si, s)| {
+                    // Seed mixes platform identity, size and strategy so
                     // jitter streams are independent but reproducible.
                     let seed = cfg
                         .base_seed
                         .wrapping_mul(31)
                         .wrapping_add(n as u64)
                         .wrapping_mul(1009)
-                        .wrapping_add(hi as u64)
+                        .wrapping_add(si as u64)
                         .wrapping_add(comm.iter().sum::<f64>().to_bits());
-                    run_heuristic(&platform, h, cfg.total_units, realism, seed)
+                    run_scheduler(&platform, s.as_ref(), cfg.total_units, realism, seed)
                 })
                 .collect()
         });
 
-        // Normalize by each platform's own INC_C lp time, then average —
+        // Normalize by each platform's own baseline lp time, then average —
         // matching the paper's "normalized by FIFO theoretical performance"
         // plots.
-        let inc_c_lp = mean(
+        let baseline_lp = mean(
             &per_platform
                 .iter()
                 .map(|o| o[0].lp_time)
                 .collect::<Vec<_>>(),
         );
+        let baseline_legend = schedulers[0].legend();
         let mut ratios: Vec<(String, f64)> = Vec::new();
-        for (hi, h) in heuristics.iter().enumerate() {
+        for (si, s) in schedulers.iter().enumerate() {
             let lp_ratio = mean(
                 &per_platform
                     .iter()
-                    .map(|o| o[hi].lp_time / o[0].lp_time)
+                    .map(|o| o[si].lp_time / o[0].lp_time)
                     .collect::<Vec<_>>(),
             );
             let real_ratio = mean(
                 &per_platform
                     .iter()
-                    .map(|o| o[hi].real_time / o[0].lp_time)
+                    .map(|o| o[si].real_time / o[0].lp_time)
                     .collect::<Vec<_>>(),
             );
-            if hi != 0 {
-                ratios.push((format!("{} lp/INC_C lp", h.name()), lp_ratio));
+            if si != 0 {
+                ratios.push((format!("{} lp/{baseline_legend} lp", s.legend()), lp_ratio));
             }
-            ratios.push((format!("{} real/INC_C lp", h.name()), real_ratio));
+            ratios.push((
+                format!("{} real/{baseline_legend} lp", s.legend()),
+                real_ratio,
+            ));
         }
         rows.push(SweepRow {
             size: n,
-            inc_c_lp,
+            baseline_lp,
             ratios,
         });
     }
 
     SweepResult {
         label: variant.label.clone(),
+        baseline: schedulers[0].legend().to_string(),
         rows,
     }
 }
@@ -228,6 +290,7 @@ pub fn run_sweep(cfg: &SweepConfig, variant: &SweepVariant) -> SweepResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenarios::Heuristic;
 
     fn quick_variant() -> SweepVariant {
         SweepVariant {
@@ -236,7 +299,10 @@ mod tests {
             comp_scale: 1.0,
             comm_scale: 1.0,
             cache_effects: false,
-            include_inc_w: true,
+            schedulers: [Heuristic::IncC, Heuristic::IncW, Heuristic::Lifo]
+                .iter()
+                .map(|h| h.registry_id().to_string())
+                .collect(),
         }
     }
 
@@ -254,7 +320,8 @@ mod tests {
         // Five ratio columns: INC_C real, INC_W lp, INC_W real, LIFO lp,
         // LIFO real.
         assert_eq!(res.rows[0].ratios.len(), 5);
-        assert!(res.rows[0].inc_c_lp > 0.0);
+        assert!(res.rows[0].baseline_lp > 0.0);
+        assert_eq!(res.baseline, "INC_C");
     }
 
     #[test]
@@ -330,7 +397,58 @@ mod tests {
         };
         let a = run_sweep(&cfg, &quick_variant());
         let b = run_sweep(&cfg, &quick_variant());
-        assert_eq!(a.rows[0].inc_c_lp, b.rows[0].inc_c_lp);
+        assert_eq!(a.rows[0].baseline_lp, b.rows[0].baseline_lp);
         assert_eq!(a.rows[0].ratios, b.rows[0].ratios);
+    }
+
+    #[test]
+    fn any_registry_strategy_can_join_a_sweep() {
+        // The engine makes strategy selection pure data: sweep the chain
+        // solver (LP-free) next to INC_C without touching sweep code.
+        let cfg = SweepConfig {
+            sizes: vec![80],
+            platforms: 2,
+            total_units: 50,
+            base_seed: 6,
+        };
+        let mut v = quick_variant();
+        v.schedulers = vec!["inc_c".into(), "chain".into()];
+        let res = run_sweep(&cfg, &v);
+        // CHAIN lp, CHAIN real + INC_C real = 3 ratio columns.
+        assert_eq!(res.rows[0].ratios.len(), 3);
+        let chain_lp = res.rows[0]
+            .ratios
+            .iter()
+            .find(|(n, _)| n == "CHAIN lp/INC_C lp")
+            .unwrap()
+            .1;
+        // The prefix chain heuristic cannot beat the optimal FIFO's LP
+        // time, and INC_C == optimal FIFO for the z = 1/2 cluster model,
+        // so its lp ratio is >= 1.
+        assert!(chain_lp >= 1.0 - 1e-6, "chain lp ratio {chain_lp}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot solve this platform family")]
+    fn partial_strategy_in_a_sweep_fails_fast() {
+        // bus_fifo does not apply to the hetero-star family: the sweep must
+        // reject the configuration before spawning worker threads.
+        let cfg = SweepConfig {
+            sizes: vec![40],
+            platforms: 2,
+            total_units: 50,
+            base_seed: 7,
+        };
+        let mut v = quick_variant();
+        v.schedulers = vec!["inc_c".into(), "bus_fifo".into()];
+        run_sweep(&cfg, &v);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scheduler")]
+    fn unknown_scheduler_id_panics_loudly() {
+        let mut v = quick_variant();
+        v.schedulers = vec!["definitely_not_registered".into()];
+        v.resolve_schedulers();
     }
 }

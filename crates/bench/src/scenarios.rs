@@ -1,10 +1,12 @@
 //! Shared experiment configuration for the Section 5 reproduction.
 
-use dls_core::prelude::*;
+use dls_core::engine::{Scheduler, Solution};
 use dls_core::CoreError;
 use dls_platform::Platform;
 
-/// The heuristics compared throughout Section 5.3.
+/// The heuristics compared throughout Section 5.3, as thin handles into
+/// [`dls_core::registry`] (the engine owns the solver logic; this enum only
+/// fixes the paper's canonical selection and legend names).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Heuristic {
     /// FIFO over all workers, fastest links first (optimal FIFO for
@@ -17,6 +19,20 @@ pub enum Heuristic {
 }
 
 impl Heuristic {
+    /// The identifier of this heuristic in [`dls_core::registry`].
+    pub fn registry_id(&self) -> &'static str {
+        match self {
+            Heuristic::IncC => "inc_c",
+            Heuristic::IncW => "inc_w",
+            Heuristic::Lifo => "optimal_lifo",
+        }
+    }
+
+    /// The registered [`Scheduler`] backing this heuristic.
+    pub fn scheduler(&self) -> Box<dyn Scheduler> {
+        dls_core::lookup(self.registry_id()).expect("built-in heuristics are registered")
+    }
+
     /// Display name matching the paper's legends.
     pub fn name(&self) -> &'static str {
         match self {
@@ -26,13 +42,9 @@ impl Heuristic {
         }
     }
 
-    /// Solves the heuristic's scenario LP on `platform`.
-    pub fn solve(&self, platform: &Platform) -> Result<LpSchedule, CoreError> {
-        match self {
-            Heuristic::IncC => inc_c_fifo(platform),
-            Heuristic::IncW => inc_w_fifo(platform),
-            Heuristic::Lifo => optimal_lifo(platform),
-        }
+    /// Solves the heuristic on `platform` through the scheduler engine.
+    pub fn solve(&self, platform: &Platform) -> Result<Solution, CoreError> {
+        self.scheduler().solve(platform)
     }
 }
 
@@ -94,6 +106,14 @@ mod tests {
         let c = Heuristic::IncC.solve(&p).unwrap().throughput;
         let w = Heuristic::IncW.solve(&p).unwrap().throughput;
         assert!(c >= w - 1e-9);
+    }
+
+    #[test]
+    fn heuristic_legends_match_registry() {
+        for h in [Heuristic::IncC, Heuristic::IncW, Heuristic::Lifo] {
+            assert_eq!(h.scheduler().legend(), h.name());
+            assert_eq!(h.scheduler().name(), h.registry_id());
+        }
     }
 
     #[test]

@@ -52,8 +52,7 @@ impl AffineLatencies {
     }
 
     fn validate(&self, platform: &Platform) -> Result<(), CoreError> {
-        if self.send.len() != platform.num_workers() || self.ret.len() != platform.num_workers()
-        {
+        if self.send.len() != platform.num_workers() || self.ret.len() != platform.num_workers() {
             return Err(CoreError::MalformedOrder(format!(
                 "latency vectors sized {}/{} for {} workers",
                 self.send.len(),
@@ -96,11 +95,7 @@ pub fn affine_fifo_for_set(
     order: &[WorkerId],
 ) -> Result<Option<AffineSolution>, CoreError> {
     lat.validate(platform)?;
-    Schedule::fifo(
-        platform,
-        order.to_vec(),
-        vec![0.0; platform.num_workers()],
-    )?;
+    Schedule::fifo(platform, order.to_vec(), vec![0.0; platform.num_workers()])?;
     if order.is_empty() {
         return Err(CoreError::MalformedOrder("empty enrolled order".into()));
     }
@@ -125,8 +120,7 @@ pub fn affine_fifo_for_set(
     for (k, &id) in order.iter().enumerate() {
         let w_i = platform.worker(id);
         // Latency charge: all forward messages up to k, all returns from k.
-        let fixed: f64 = (0..=k).map(send_lat).sum::<f64>()
-            + (k..q).map(ret_lat).sum::<f64>();
+        let fixed: f64 = (0..=k).map(send_lat).sum::<f64>() + (k..q).map(ret_lat).sum::<f64>();
         let rhs = 1.0 - fixed;
         if rhs < 0.0 {
             feasible = false;
@@ -311,8 +305,7 @@ mod tests {
     fn huge_latency_makes_set_infeasible() {
         let p = star(3);
         let order = p.order_by_c();
-        let sol =
-            affine_fifo_for_set(&p, &AffineLatencies::uniform(3, 0.4, 0.4), &order).unwrap();
+        let sol = affine_fifo_for_set(&p, &AffineLatencies::uniform(3, 0.4, 0.4), &order).unwrap();
         // 3 workers x 0.8 latency = 2.4 > 1: no feasible schedule.
         assert!(sol.is_none());
     }
@@ -324,12 +317,8 @@ mod tests {
         let p = Platform::bus(0.05, 0.025, &[1.0, 1.0, 1.0, 1.0]).unwrap();
         let no_lat = affine_fifo_best_subset(&p, &AffineLatencies::zero(4), 16).unwrap();
         assert_eq!(no_lat.enrolled.len(), 4, "linear model enrolls everyone");
-        let heavy = affine_fifo_best_subset(
-            &p,
-            &AffineLatencies::uniform(4, 0.12, 0.12),
-            16,
-        )
-        .unwrap();
+        let heavy =
+            affine_fifo_best_subset(&p, &AffineLatencies::uniform(4, 0.12, 0.12), 16).unwrap();
         assert!(
             heavy.enrolled.len() < 4,
             "expected latency-driven drop-out, got {:?}",

@@ -58,7 +58,7 @@ impl Iterator for Permutations {
         let n = self.items.len();
         while self.depth < n {
             if self.counters[self.depth] < self.depth {
-                if self.depth % 2 == 0 {
+                if self.depth.is_multiple_of(2) {
                     self.items.swap(0, self.depth);
                 } else {
                     self.items.swap(self.counters[self.depth], self.depth);

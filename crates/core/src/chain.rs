@@ -55,8 +55,7 @@ pub struct ChainSolution {
 impl ChainSolution {
     /// Packages the solution as a FIFO schedule over `order`.
     pub fn schedule(&self, platform: &Platform, order: &[WorkerId]) -> Schedule {
-        Schedule::fifo(platform, order.to_vec(), self.loads.clone())
-            .expect("chain loads are valid")
+        Schedule::fifo(platform, order.to_vec(), self.loads.clone()).expect("chain loads are valid")
     }
 }
 
@@ -103,11 +102,7 @@ pub fn chain_fifo(
         return Err(CoreError::MalformedOrder("empty enrolled order".into()));
     }
     // Validate via the Schedule constructor.
-    Schedule::fifo(
-        platform,
-        order.to_vec(),
-        vec![0.0; platform.num_workers()],
-    )?;
+    Schedule::fifo(platform, order.to_vec(), vec![0.0; platform.num_workers()])?;
     let q = order.len();
     let w = |i: usize| platform.worker(order[i]);
 
@@ -135,8 +130,7 @@ pub fn chain_fifo(
     // ---- Regime A (compute-bound): full chain, (2a)_1 pins the scale.
     {
         // (2a)_1: alpha_1 (c_1 + w_1) + sum_j alpha_j d_j = 1.
-        let denom = w(0).c + w(0).w
-            + (0..q).map(|j| ratios[j] * w(j).d).sum::<f64>();
+        let denom = w(0).c + w(0).w + (0..q).map(|j| ratios[j] * w(j).d).sum::<f64>();
         if denom > TOL {
             let a1 = 1.0 / denom;
             let alphas: Vec<f64> = ratios.iter().map(|r| r * a1).collect();
@@ -172,21 +166,16 @@ pub fn chain_fifo(
             let aq = (k1 - k2) / det;
             if a1 > TOL && aq >= -TOL {
                 let aq = aq.max(0.0);
-                let mut alphas: Vec<f64> =
-                    (0..q - 1).map(|j| ratios[j] * a1).collect();
+                let mut alphas: Vec<f64> = (0..q - 1).map(|j| ratios[j] * a1).collect();
                 alphas.push(aq);
                 // Feasibility: last deadline with slack x_q >= 0, and all
                 // deadlines within 1.
                 let xq = 1.0 - deadline_lhs(platform, order, &alphas, q - 1);
                 if xq >= -TOL {
-                    let feasible = (0..q - 1)
-                        .all(|i| deadline_lhs(platform, order, &alphas, i) <= 1.0 + 1e-7);
+                    let feasible =
+                        (0..q - 1).all(|i| deadline_lhs(platform, order, &alphas, i) <= 1.0 + 1e-7);
                     if feasible {
-                        return Ok(Some(pack(
-                            alphas,
-                            ChainRegime::CommBound,
-                            xq.max(0.0),
-                        )));
+                        return Ok(Some(pack(alphas, ChainRegime::CommBound, xq.max(0.0))));
                     }
                 }
             }
@@ -201,9 +190,7 @@ pub fn chain_fifo(
 /// Fast (`O(p²)`) but heuristic: the optimal enrolled set may skip a middle
 /// worker (see module docs). Returns the best feasible prefix solution
 /// together with its order.
-pub fn chain_best_prefix(
-    platform: &Platform,
-) -> Result<(Vec<WorkerId>, ChainSolution), CoreError> {
+pub fn chain_best_prefix(platform: &Platform) -> Result<(Vec<WorkerId>, ChainSolution), CoreError> {
     let sorted = platform.order_by_c();
     let mut best: Option<(Vec<WorkerId>, ChainSolution)> = None;
     for q in 1..=sorted.len() {

@@ -223,10 +223,7 @@ mod tests {
         let lp = solve_fifo(&p, &p.ids().collect::<Vec<_>>(), PortModel::OnePort).unwrap();
         for (i, l) in sol.loads.iter().enumerate() {
             let lp_l = lp.schedule.load(WorkerId(i));
-            assert!(
-                (l - lp_l).abs() < 1e-6,
-                "load {i}: closed {l} vs lp {lp_l}"
-            );
+            assert!((l - lp_l).abs() < 1e-6, "load {i}: closed {l} vs lp {lp_l}");
         }
     }
 
@@ -247,7 +244,10 @@ mod tests {
         let p2 = Platform::bus(1.0, 0.5, &rev).unwrap();
         let a = bus_fifo(&p1).unwrap().throughput;
         let b = bus_fifo(&p2).unwrap().throughput;
-        assert!((a - b).abs() < 1e-9, "order changed bus throughput: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-9,
+            "order changed bus throughput: {a} vs {b}"
+        );
     }
 
     #[test]

@@ -107,8 +107,7 @@ mod tests {
             Platform::star_with_z(&[(1.0, 0.05), (1.2, 0.02)], 0.5).unwrap(),
         ] {
             let d = diagnose_fifo(&p);
-            let total: f64 =
-                d.deadline_duals.iter().map(|(_, y)| y).sum::<f64>() + d.port_dual;
+            let total: f64 = d.deadline_duals.iter().map(|(_, y)| y).sum::<f64>() + d.port_dual;
             assert!(
                 (total - d.throughput).abs() < 1e-6,
                 "sum of duals {total} != rho {}",

@@ -1,0 +1,342 @@
+//! Unified scheduler engine: every solver family behind one trait.
+//!
+//! The crate grew as a collection of free functions with divergent
+//! signatures (`optimal_fifo` returns an [`LpSchedule`], `bus_fifo` a
+//! [`BusFifoSolution`], `chain_best_prefix` an order/solution pair, …),
+//! which forced every downstream consumer — sweeps, report tables,
+//! benchmarks — to hard-code each call site. This module normalizes them:
+//!
+//! * [`Scheduler`] — `name()` + `solve(&Platform) -> Result<Solution>`;
+//! * [`Solution`] — schedule + throughput + [`Provenance`];
+//! * [`registry()`] — every built-in strategy as a trait object, so new
+//!   strategies (multi-round, tree platforms, interleaved masters) plug in
+//!   as one file instead of a cross-crate surgery.
+//!
+//! The original free functions remain the implementation; the engine types
+//! are thin adapters over them.
+//!
+//! ```
+//! use dls_core::prelude::*;
+//! use dls_platform::Platform;
+//!
+//! let p = Platform::bus(1.0, 0.5, &[3.0, 5.0, 4.0]).unwrap();
+//! for s in dls_core::registry() {
+//!     let sol = s.solve(&p).unwrap();
+//!     assert!(sol.throughput > 0.0, "{} failed", s.name());
+//! }
+//! ```
+
+use dls_platform::Platform;
+
+use crate::error::CoreError;
+use crate::lp_model::LpSchedule;
+use crate::schedule::{PortModel, Schedule};
+use crate::timeline::Timeline;
+
+/// How a [`Solution`] was obtained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Provenance {
+    /// A scenario LP solved with the simplex (`iterations` pivots).
+    Lp {
+        /// Simplex pivots used.
+        iterations: usize,
+    },
+    /// An analytical closed form or chain solution — no LP involved.
+    ClosedForm,
+    /// Exhaustive search over `evaluated` candidate scenarios.
+    Search {
+        /// Scenarios (LPs) evaluated.
+        evaluated: usize,
+    },
+}
+
+/// The unified result every [`Scheduler`] produces.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The schedule (orders + loads) to execute.
+    pub schedule: Schedule,
+    /// Normalized throughput: load processed per unit of horizon when this
+    /// schedule is executed on the platform it was solved for (`T = 1`
+    /// scaling). For baselines that ignore part of the cost model (e.g.
+    /// [`no-return`](crate::no_return)) this is the *achieved* throughput
+    /// under the full one-port model, not the solver's own optimistic
+    /// objective — all registry entries are therefore directly comparable.
+    pub throughput: f64,
+    /// How the solution was computed.
+    pub provenance: Provenance,
+}
+
+impl Solution {
+    /// Packages an LP result (throughput is the LP objective, which the
+    /// one-port timeline achieves exactly).
+    fn from_lp(lp: LpSchedule) -> Solution {
+        Solution {
+            schedule: lp.schedule,
+            throughput: lp.throughput,
+            provenance: Provenance::Lp {
+                iterations: lp.iterations,
+            },
+        }
+    }
+
+    /// Packages a closed-form schedule, measuring the achieved one-port
+    /// throughput off the earliest-feasible timeline.
+    fn measured(platform: &Platform, schedule: Schedule) -> Solution {
+        let throughput = crate::timeline::throughput(platform, &schedule, PortModel::OnePort);
+        Solution {
+            schedule,
+            throughput,
+            provenance: Provenance::ClosedForm,
+        }
+    }
+
+    /// Builds and verifies the earliest-feasible one-port timeline of this
+    /// solution; `Err` carries the violation list.
+    pub fn verified_timeline(
+        &self,
+        platform: &Platform,
+        tol: f64,
+    ) -> Result<Timeline, Vec<String>> {
+        let t = Timeline::build(platform, &self.schedule, PortModel::OnePort);
+        let violations = t.verify(platform, &self.schedule, tol);
+        if violations.is_empty() {
+            Ok(t)
+        } else {
+            Err(violations)
+        }
+    }
+}
+
+/// A scheduling strategy: anything that maps a [`Platform`] to a
+/// [`Solution`]. `Send + Sync` so registries can be shared across the
+/// sweep worker threads.
+pub trait Scheduler: Send + Sync {
+    /// Stable identifier, unique within [`registry()`] (snake_case).
+    fn name(&self) -> &str;
+
+    /// Display name matching the paper's figure legends (defaults to
+    /// [`Scheduler::name`]).
+    fn legend(&self) -> &str {
+        self.name()
+    }
+
+    /// Solves the platform. Errors are strategy-specific: e.g.
+    /// [`CoreError::NotABus`] from the Theorem 2 closed form on a star, or
+    /// [`CoreError::TooManyWorkers`] from exhaustive search.
+    fn solve(&self, platform: &Platform) -> Result<Solution, CoreError>;
+}
+
+macro_rules! define_scheduler {
+    ($(#[$doc:meta])* $ty:ident, $name:literal, $legend:literal,
+     |$platform:ident| $solve:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $ty;
+
+        impl Scheduler for $ty {
+            fn name(&self) -> &str {
+                $name
+            }
+            fn legend(&self) -> &str {
+                $legend
+            }
+            fn solve(&self, $platform: &Platform) -> Result<Solution, CoreError> {
+                $solve
+            }
+        }
+    };
+}
+
+define_scheduler!(
+    /// Theorem 1 + Proposition 1: the optimal one-port FIFO schedule with
+    /// LP resource selection (requires a `z`-tied platform).
+    OptimalFifo, "optimal_fifo", "OPT_FIFO",
+    |platform| crate::fifo::optimal_fifo(platform).map(Solution::from_lp)
+);
+
+define_scheduler!(
+    /// The optimal one-port LIFO schedule (all workers, non-decreasing
+    /// `c`); the paper's `LIFO` heuristic.
+    OptimalLifo, "optimal_lifo", "LIFO",
+    |platform| crate::lifo::optimal_lifo(platform).map(Solution::from_lp)
+);
+
+define_scheduler!(
+    /// The paper's `INC_C` heuristic: FIFO over all workers by
+    /// non-decreasing `c` (optimal FIFO order for `z <= 1`).
+    IncC, "inc_c", "INC_C",
+    |platform| crate::fifo::inc_c_fifo(platform).map(Solution::from_lp)
+);
+
+define_scheduler!(
+    /// The paper's `INC_W` heuristic: FIFO over all workers by
+    /// non-decreasing `w`.
+    IncW, "inc_w", "INC_W",
+    |platform| crate::fifo::inc_w_fifo(platform).map(Solution::from_lp)
+);
+
+define_scheduler!(
+    /// Theorem 2: the closed-form optimal FIFO on a bus platform (errors
+    /// with [`CoreError::NotABus`] elsewhere).
+    BusFifo, "bus_fifo", "BUS_FIFO",
+    |platform| {
+        let sol = crate::closed_form::bus_fifo(platform)?;
+        Ok(Solution {
+            schedule: sol.schedule(platform),
+            throughput: sol.throughput,
+            provenance: Provenance::ClosedForm,
+        })
+    }
+);
+
+define_scheduler!(
+    /// The `O(p)` LIFO closed form from the companion papers (all workers,
+    /// tight constraint chain; no LP).
+    StarLifo, "star_lifo", "LIFO_CF",
+    |platform| {
+        let sol = crate::closed_form::star_lifo(platform);
+        Ok(Solution {
+            schedule: sol.schedule(platform),
+            throughput: sol.throughput,
+            provenance: Provenance::ClosedForm,
+        })
+    }
+);
+
+define_scheduler!(
+    /// The analytical chain solver over prefixes of the `c`-sorted worker
+    /// list — a fast LP-free FIFO heuristic.
+    ChainFifo, "chain", "CHAIN",
+    |platform| {
+        let (order, sol) = crate::chain::chain_best_prefix(platform)?;
+        Ok(Solution {
+            schedule: sol.schedule(platform, &order),
+            throughput: sol.throughput,
+            provenance: Provenance::ClosedForm,
+        })
+    }
+);
+
+define_scheduler!(
+    /// The classical no-return baseline \[6\]: loads chosen ignoring return
+    /// messages, then *executed* under the full one-port model — its
+    /// reported throughput is the achieved (degraded) one.
+    NoReturn, "no_return", "NO_RETURN",
+    |platform| {
+        let sol = crate::no_return::optimal_no_return(platform)?;
+        Ok(Solution::measured(platform, sol.schedule(platform)))
+    }
+);
+
+define_scheduler!(
+    /// Exhaustive ground truth over every FIFO order (`p!` LPs, `p <= 8`).
+    BruteFifo, "brute_fifo", "BRUTE_FIFO",
+    |platform| {
+        let res = crate::brute_force::best_fifo(platform, PortModel::OnePort)?;
+        Ok(Solution {
+            schedule: res.best.schedule,
+            throughput: res.best.throughput,
+            provenance: Provenance::Search {
+                evaluated: res.evaluated,
+            },
+        })
+    }
+);
+
+define_scheduler!(
+    /// Exhaustive ground truth over every `(σ1, σ2)` permutation pair
+    /// (`p!²` LPs, `p <= 5`) — the open general problem, canonical shape.
+    BruteScenario, "brute_force", "BRUTE",
+    |platform| {
+        let res = crate::brute_force::best_scenario(platform, PortModel::OnePort)?;
+        Ok(Solution {
+            schedule: res.best.schedule,
+            throughput: res.best.throughput,
+            provenance: Provenance::Search {
+                evaluated: res.evaluated,
+            },
+        })
+    }
+);
+
+/// Every built-in strategy, in a stable order (optimal solvers first, then
+/// heuristics, then baselines and exhaustive searches).
+pub fn registry() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(OptimalFifo),
+        Box::new(OptimalLifo),
+        Box::new(IncC),
+        Box::new(IncW),
+        Box::new(BusFifo),
+        Box::new(StarLifo),
+        Box::new(ChainFifo),
+        Box::new(NoReturn),
+        Box::new(BruteFifo),
+        Box::new(BruteScenario),
+    ]
+}
+
+/// Finds a registered strategy by its [`Scheduler::name`].
+pub fn lookup(name: &str) -> Option<Box<dyn Scheduler>> {
+    registry().into_iter().find(|s| s.name() == name)
+}
+
+// Engine-local invariants only: the registry round-trip on the shared
+// 5-worker fixture (verify-clean timelines, optimal-FIFO dominance,
+// provenance) lives in the workspace integration suite,
+// `tests/engine_registry.rs`.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small bus so every registered strategy applies.
+    fn fixture() -> Platform {
+        Platform::bus(1.0, 0.5, &[2.0, 4.0, 3.0, 6.0, 5.0]).unwrap()
+    }
+
+    #[test]
+    fn registry_names_are_unique() {
+        let reg = registry();
+        let mut names: Vec<&str> = reg.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate scheduler names");
+    }
+
+    #[test]
+    fn lookup_finds_by_name() {
+        assert!(lookup("optimal_fifo").is_some());
+        assert!(lookup("inc_c").is_some());
+        assert!(lookup("nonexistent").is_none());
+        assert_eq!(lookup("optimal_lifo").unwrap().legend(), "LIFO");
+    }
+
+    #[test]
+    fn trait_objects_match_free_functions() {
+        let p = fixture();
+        let via_trait = lookup("optimal_fifo").unwrap().solve(&p).unwrap();
+        let direct = crate::fifo::optimal_fifo(&p).unwrap();
+        assert!((via_trait.throughput - direct.throughput).abs() < 1e-12);
+        assert_eq!(via_trait.schedule, direct.schedule);
+        assert!(matches!(via_trait.provenance, Provenance::Lp { .. }));
+    }
+
+    #[test]
+    fn bus_closed_form_errors_on_stars_through_the_trait() {
+        let star = Platform::star_with_z(&[(1.0, 2.0), (2.0, 1.0)], 0.5).unwrap();
+        assert_eq!(
+            lookup("bus_fifo").unwrap().solve(&star).unwrap_err(),
+            CoreError::NotABus
+        );
+    }
+
+    #[test]
+    fn no_return_reports_achieved_not_optimistic_throughput() {
+        let p = fixture();
+        let engine = lookup("no_return").unwrap().solve(&p).unwrap();
+        let optimistic = crate::no_return::optimal_no_return(&p).unwrap();
+        // Ignoring returns overstates what the one-port execution achieves.
+        assert!(engine.throughput < optimistic.throughput);
+    }
+}

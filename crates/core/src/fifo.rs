@@ -141,11 +141,8 @@ mod tests {
 
     #[test]
     fn not_z_tied_is_rejected() {
-        let p = Platform::new(vec![
-            Worker::new(1.0, 1.0, 0.5),
-            Worker::new(1.0, 1.0, 0.9),
-        ])
-        .unwrap();
+        let p =
+            Platform::new(vec![Worker::new(1.0, 1.0, 0.5), Worker::new(1.0, 1.0, 0.9)]).unwrap();
         assert_eq!(optimal_fifo(&p).unwrap_err(), CoreError::NotZTied);
         assert_eq!(theorem1_order(&p).unwrap_err(), CoreError::NotZTied);
     }

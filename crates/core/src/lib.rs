@@ -26,6 +26,7 @@
 //! | Exhaustive ground truth (small `p`) | [`brute_force`] |
 //! | Analytical chain solver (no LP) | [`chain`] |
 //! | Classical no-return baselines \[5,6,10\] | [`no_return`] |
+//! | Unified strategy API over all of the above | [`engine`], [`registry`] |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@ pub mod brute_force;
 pub mod chain;
 pub mod closed_form;
 pub mod diagnosis;
+pub mod engine;
 mod error;
 pub mod fifo;
 pub mod lifo;
@@ -59,19 +61,21 @@ pub mod rounding;
 mod schedule;
 pub mod timeline;
 
+pub use engine::{lookup, registry, Provenance, Scheduler, Solution};
 pub use error::CoreError;
 pub use schedule::{PortModel, Schedule, LOAD_EPS};
 
 /// Convenient glob-import of the most used items.
 pub mod prelude {
     pub use crate::affine::{
-        affine_fifo_best_prefix, affine_fifo_best_subset, affine_fifo_for_set,
-        affine_makespan, AffineLatencies,
+        affine_fifo_best_prefix, affine_fifo_best_subset, affine_fifo_for_set, affine_makespan,
+        AffineLatencies,
     };
     pub use crate::brute_force::{best_fifo, best_lifo, best_scenario};
     pub use crate::chain::{chain_best_prefix, chain_best_subset, chain_fifo};
     pub use crate::closed_form::{bus_fifo, star_lifo, BusFifoSolution, BusRegime};
     pub use crate::diagnosis::{diagnose, Diagnosis};
+    pub use crate::engine::{lookup, registry, Provenance, Scheduler, Solution};
     pub use crate::fifo::{inc_c_fifo, inc_w_fifo, optimal_fifo, theorem1_order};
     pub use crate::lifo::optimal_lifo;
     pub use crate::lp_model::{solve_fifo, solve_lifo, solve_scenario, LpSchedule};

@@ -161,12 +161,7 @@ pub fn solve_scenario(
         loads[id.index()] = sol.value(vars.alphas[k]).max(0.0);
         lp_idles[id.index()] = sol.value(vars.idles[k]).max(0.0);
     }
-    let schedule = Schedule::new(
-        platform,
-        send_order.to_vec(),
-        return_order.to_vec(),
-        loads,
-    )?;
+    let schedule = Schedule::new(platform, send_order.to_vec(), return_order.to_vec(), loads)?;
     Ok(LpSchedule {
         throughput: sol.objective,
         schedule,
@@ -257,7 +252,10 @@ mod tests {
         let p = platform();
         let s = solve_fifo(&p, &ids(&[0, 1, 2]), PortModel::OnePort).unwrap();
         let ms = makespan(&p, &s.schedule, PortModel::OnePort);
-        assert!((ms - 1.0).abs() < 1e-7, "optimal schedule wastes time: {ms}");
+        assert!(
+            (ms - 1.0).abs() < 1e-7,
+            "optimal schedule wastes time: {ms}"
+        );
     }
 
     #[test]
@@ -280,13 +278,7 @@ mod tests {
     #[test]
     fn general_permutation_pair() {
         let p = platform();
-        let s = solve_scenario(
-            &p,
-            &ids(&[0, 1, 2]),
-            &ids(&[1, 0, 2]),
-            PortModel::OnePort,
-        )
-        .unwrap();
+        let s = solve_scenario(&p, &ids(&[0, 1, 2]), &ids(&[1, 0, 2]), PortModel::OnePort).unwrap();
         assert!(s.throughput > 0.0);
         let t = Timeline::build(&p, &s.schedule, PortModel::OnePort);
         assert!(t.verify(&p, &s.schedule, 1e-7).is_empty());

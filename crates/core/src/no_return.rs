@@ -61,11 +61,7 @@ pub fn no_return_for_order(
     if order.is_empty() {
         return Err(CoreError::MalformedOrder("empty order".into()));
     }
-    Schedule::fifo(
-        platform,
-        order.to_vec(),
-        vec![0.0; platform.num_workers()],
-    )?;
+    Schedule::fifo(platform, order.to_vec(), vec![0.0; platform.num_workers()])?;
     let q = order.len();
     let w = |i: usize| platform.worker(order[i]);
 
@@ -110,8 +106,8 @@ mod tests {
 
     #[test]
     fn all_workers_finish_simultaneously() {
-        let p = Platform::star_with_z(&[(1.0, 3.0), (2.0, 1.0), (1.5, 2.0)], 0.0)
-            .unwrap_or_else(|_| {
+        let p = Platform::star_with_z(&[(1.0, 3.0), (2.0, 1.0), (1.5, 2.0)], 0.0).unwrap_or_else(
+            |_| {
                 // z = 0 makes d = 0 which is allowed.
                 Platform::new(vec![
                     dls_platform::Worker::new(1.0, 3.0, 0.0),
@@ -119,7 +115,8 @@ mod tests {
                     dls_platform::Worker::new(1.5, 2.0, 0.0),
                 ])
                 .unwrap()
-            });
+            },
+        );
         let sol = optimal_no_return(&p).unwrap();
         // Every worker's completion time is exactly 1.
         let order = &sol.order;
@@ -178,7 +175,9 @@ mod tests {
         // Dropping return messages can only help throughput.
         let p = Platform::bus(1.0, 0.5, &[2.0, 3.0, 4.0]).unwrap();
         let with_ret = crate::closed_form::bus_fifo(&p).unwrap().throughput;
-        let without = optimal_no_return(&no_return_platform(&p)).unwrap().throughput;
+        let without = optimal_no_return(&no_return_platform(&p))
+            .unwrap()
+            .throughput;
         assert!(without >= with_ret - 1e-9);
     }
 

@@ -81,8 +81,7 @@ mod tests {
         //  then K = 2, and we assign 200 + 1 matrices to P1, 300 + 1 to P2,
         //  139 to P3 and 359 to P4."
         let p = platform(4);
-        let s = Schedule::fifo(&p, ids(&[0, 1, 2, 3]), vec![200.4, 300.2, 139.8, 359.6])
-            .unwrap();
+        let s = Schedule::fifo(&p, ids(&[0, 1, 2, 3]), vec![200.4, 300.2, 139.8, 359.6]).unwrap();
         let counts = round_loads(&s, 1000);
         assert_eq!(counts, vec![201, 301, 139, 359]);
         assert_eq!(counts.iter().sum::<u64>(), 1000);
@@ -141,8 +140,7 @@ mod tests {
     #[test]
     fn rounding_error_is_bounded_by_one_unit() {
         let p = platform(4);
-        let s = Schedule::fifo(&p, ids(&[0, 1, 2, 3]), vec![0.13, 0.29, 0.41, 0.17])
-            .unwrap();
+        let s = Schedule::fifo(&p, ids(&[0, 1, 2, 3]), vec![0.13, 0.29, 0.41, 0.17]).unwrap();
         let m = 1000u64;
         let counts = round_loads(&s, m);
         let scale = m as f64 / s.total_load();

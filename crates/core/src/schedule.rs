@@ -286,13 +286,7 @@ mod tests {
         // Return order differs only in a zero-load worker's position: still
         // FIFO in effect.
         let p = platform();
-        let s = Schedule::new(
-            &p,
-            ids(&[0, 1, 2]),
-            ids(&[1, 0, 2]),
-            vec![1.0, 0.0, 1.0],
-        )
-        .unwrap();
+        let s = Schedule::new(&p, ids(&[0, 1, 2]), ids(&[1, 0, 2]), vec![1.0, 0.0, 1.0]).unwrap();
         assert!(s.is_fifo());
     }
 
@@ -308,13 +302,7 @@ mod tests {
     #[test]
     fn mirror_swaps_orders_and_is_involutive() {
         let p = platform();
-        let s = Schedule::new(
-            &p,
-            ids(&[0, 1, 2]),
-            ids(&[1, 2, 0]),
-            vec![1.0, 2.0, 3.0],
-        )
-        .unwrap();
+        let s = Schedule::new(&p, ids(&[0, 1, 2]), ids(&[1, 2, 0]), vec![1.0, 2.0, 3.0]).unwrap();
         let m = s.mirror();
         assert_eq!(m.send_order(), &ids(&[0, 2, 1])[..]);
         assert_eq!(m.return_order(), &ids(&[2, 1, 0])[..]);

@@ -324,13 +324,49 @@ mod tests {
         let t = Timeline::build(&p, &s, PortModel::OnePort);
         let e = t.entries();
         assert_eq!(e.len(), 2);
-        assert_eq!(e[0].send, Interval { start: 0.0, end: 1.0 });
-        assert_eq!(e[0].compute, Interval { start: 1.0, end: 3.0 });
-        assert_eq!(e[0].ret, Interval { start: 3.0, end: 3.5 });
+        assert_eq!(
+            e[0].send,
+            Interval {
+                start: 0.0,
+                end: 1.0
+            }
+        );
+        assert_eq!(
+            e[0].compute,
+            Interval {
+                start: 1.0,
+                end: 3.0
+            }
+        );
+        assert_eq!(
+            e[0].ret,
+            Interval {
+                start: 3.0,
+                end: 3.5
+            }
+        );
         assert_eq!(e[0].idle, 0.0);
-        assert_eq!(e[1].send, Interval { start: 1.0, end: 3.0 });
-        assert_eq!(e[1].compute, Interval { start: 3.0, end: 4.0 });
-        assert_eq!(e[1].ret, Interval { start: 4.0, end: 5.0 });
+        assert_eq!(
+            e[1].send,
+            Interval {
+                start: 1.0,
+                end: 3.0
+            }
+        );
+        assert_eq!(
+            e[1].compute,
+            Interval {
+                start: 3.0,
+                end: 4.0
+            }
+        );
+        assert_eq!(
+            e[1].ret,
+            Interval {
+                start: 4.0,
+                end: 5.0
+            }
+        );
         assert_eq!(e[1].idle, 0.0);
         assert_eq!(t.makespan(), 5.0);
         assert!(t.verify(&p, &s, 1e-9).is_empty());
@@ -346,8 +382,20 @@ mod tests {
         let t = Timeline::build(&p, &s, PortModel::OnePort);
         let e1 = t.entry(WorkerId(0)).unwrap();
         let e2 = t.entry(WorkerId(1)).unwrap();
-        assert_eq!(e2.ret, Interval { start: 4.0, end: 5.0 });
-        assert_eq!(e1.ret, Interval { start: 5.0, end: 5.5 });
+        assert_eq!(
+            e2.ret,
+            Interval {
+                start: 4.0,
+                end: 5.0
+            }
+        );
+        assert_eq!(
+            e1.ret,
+            Interval {
+                start: 5.0,
+                end: 5.5
+            }
+        );
         assert_eq!(e1.idle, 2.0);
         assert_eq!(t.makespan(), 5.5);
         assert!(t.verify(&p, &s, 1e-9).is_empty());
@@ -439,9 +487,18 @@ mod tests {
 
     #[test]
     fn interval_overlap_logic() {
-        let a = Interval { start: 0.0, end: 1.0 };
-        let b = Interval { start: 1.0, end: 2.0 };
-        let c = Interval { start: 0.5, end: 1.5 };
+        let a = Interval {
+            start: 0.0,
+            end: 1.0,
+        };
+        let b = Interval {
+            start: 1.0,
+            end: 2.0,
+        };
+        let c = Interval {
+            start: 0.5,
+            end: 1.5,
+        };
         assert!(!a.overlaps(&b, 1e-12));
         assert!(a.overlaps(&c, 1e-12));
         assert!(c.overlaps(&b, 1e-12));

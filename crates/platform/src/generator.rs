@@ -80,9 +80,7 @@ impl PlatformSampler {
                     let f = dist.sample(rng);
                     vec![f; self.workers]
                 }
-                Heterogeneity::PerWorker => {
-                    (0..self.workers).map(|_| dist.sample(rng)).collect()
-                }
+                Heterogeneity::PerWorker => (0..self.workers).map(|_| dist.sample(rng)).collect(),
             }
         };
         let comm = draw(self.comm, rng);
@@ -92,12 +90,7 @@ impl PlatformSampler {
 
     /// Samples a platform for the matrix application `app` on cluster
     /// `cluster`.
-    pub fn sample(
-        &self,
-        app: &MatrixApp,
-        cluster: &ClusterModel,
-        rng: &mut impl Rng,
-    ) -> Platform {
+    pub fn sample(&self, app: &MatrixApp, cluster: &ClusterModel, rng: &mut impl Rng) -> Platform {
         let (comm, comp) = self.sample_factors(rng);
         cluster
             .platform(app, &comm, &comp)

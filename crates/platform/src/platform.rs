@@ -121,9 +121,9 @@ impl Platform {
     /// (i.e. the star degenerates into a bus).
     pub fn is_bus(&self) -> bool {
         let first = &self.workers[0];
-        self.workers.iter().all(|w| {
-            rel_eq(w.c, first.c) && rel_eq(w.d, first.d)
-        })
+        self.workers
+            .iter()
+            .all(|w| rel_eq(w.c, first.c) && rel_eq(w.d, first.d))
     }
 
     /// Returns the application constant `z = d/c` when it is common to all
@@ -302,10 +302,7 @@ mod tests {
     #[test]
     fn order_by_w() {
         let p = sample();
-        assert_eq!(
-            p.order_by_w(),
-            vec![WorkerId(1), WorkerId(0), WorkerId(2)]
-        );
+        assert_eq!(p.order_by_w(), vec![WorkerId(1), WorkerId(0), WorkerId(2)]);
     }
 
     #[test]

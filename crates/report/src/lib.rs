@@ -1,9 +1,11 @@
 //! # dls-report — experiment plumbing
 //!
-//! Small, dependency-free toolkit shared by the figure harnesses and
-//! benchmarks of the RR-5738 reproduction:
+//! Small toolkit shared by the figure harnesses and benchmarks of the
+//! RR-5738 reproduction:
 //!
 //! * [`Table`] — aligned monospace tables (the "rows the paper reports");
+//! * [`strategy_table`] — every strategy in [`dls_core::registry`]
+//!   compared side by side on one platform;
 //! * [`summarize`] / [`linear_fit`] — statistics for averaged sweeps and
 //!   the Figure 8 linearity check;
 //! * [`write_dat`] — gnuplot-friendly series files for regenerating plots;
@@ -22,4 +24,4 @@ pub use output::{write_dat, write_text, Series};
 pub use par::par_map;
 pub use regression::{linear_fit, LinearFit};
 pub use stats::{geometric_mean, mean, percentile, summarize, Summary};
-pub use table::{num, Align, Table};
+pub use table::{num, strategy_table, Align, Table};

@@ -33,12 +33,7 @@ impl Series {
 ///
 /// # Panics
 /// Panics when series lengths disagree with `xs` (harness bug).
-pub fn write_dat(
-    path: &Path,
-    x_label: &str,
-    xs: &[f64],
-    series: &[Series],
-) -> std::io::Result<()> {
+pub fn write_dat(path: &Path, x_label: &str, xs: &[f64], series: &[Series]) -> std::io::Result<()> {
     for s in series {
         assert_eq!(
             s.ys.len(),

@@ -1,6 +1,10 @@
-//! Plain-text tables for figure/table harness output.
+//! Plain-text tables for figure/table harness output, including the
+//! registry-driven strategy comparison table.
 
 use std::fmt::Write as _;
+
+use dls_core::engine::Provenance;
+use dls_platform::Platform;
 
 /// Column alignment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,7 +129,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -142,6 +150,63 @@ impl Table {
 /// number format).
 pub fn num(v: f64, prec: usize) -> String {
     format!("{v:.prec$}")
+}
+
+/// Renders every strategy in [`dls_core::registry`] side by side on one
+/// platform: throughput, enrolled workers, verified makespan and solution
+/// provenance. Strategies that do not apply to the platform (e.g. the bus
+/// closed form on a star, exhaustive search past its size guard) get an
+/// explanatory `n/a` row instead of being skipped, so the table always
+/// lists the full registry.
+pub fn strategy_table(platform: &Platform) -> Table {
+    let mut t = Table::new(&[
+        "strategy",
+        "legend",
+        "rho",
+        "enrolled",
+        "makespan",
+        "provenance",
+    ]);
+    for s in dls_core::registry() {
+        match s.solve(platform) {
+            Ok(sol) => {
+                let makespan = match sol.verified_timeline(platform, 1e-7) {
+                    Ok(timeline) => num(timeline.makespan(), 6),
+                    Err(violations) => format!("INFEASIBLE ({})", violations.len()),
+                };
+                let provenance = match sol.provenance {
+                    Provenance::Lp { iterations } => format!("lp ({iterations} pivots)"),
+                    Provenance::ClosedForm => "closed form".into(),
+                    Provenance::Search { evaluated } => {
+                        format!("search ({evaluated} scenarios)")
+                    }
+                };
+                t.row(&[
+                    s.name().to_string(),
+                    s.legend().to_string(),
+                    num(sol.throughput, 6),
+                    format!(
+                        "{}/{}",
+                        sol.schedule.participants().len(),
+                        platform.num_workers()
+                    ),
+                    makespan,
+                    provenance,
+                ]);
+            }
+            Err(e) => {
+                t.row(&[
+                    s.name().to_string(),
+                    s.legend().to_string(),
+                    "n/a".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("{e}"),
+                ]);
+            }
+        }
+    }
+    t
 }
 
 #[cfg(test)]
@@ -191,5 +256,30 @@ mod tests {
         t.row_display(&[&1, &2.5]);
         assert_eq!(t.num_rows(), 1);
         assert!(t.render().contains("2.5"));
+    }
+
+    #[test]
+    fn strategy_table_lists_whole_registry_on_a_bus() {
+        let p = Platform::bus(1.0, 0.5, &[3.0, 5.0, 4.0]).unwrap();
+        let t = strategy_table(&p);
+        assert_eq!(t.num_rows(), dls_core::registry().len());
+        let rendered = t.render();
+        // Every strategy applies on a small bus: no n/a rows.
+        assert!(!rendered.contains("n/a"), "unexpected n/a:\n{rendered}");
+        assert!(rendered.contains("optimal_fifo"));
+        assert!(rendered.contains("closed form"));
+        assert!(rendered.contains("pivots"));
+    }
+
+    #[test]
+    fn strategy_table_reports_inapplicable_strategies() {
+        // A star: the Theorem 2 bus closed form must row out as n/a rather
+        // than vanish.
+        let p = Platform::star_with_z(&[(1.0, 2.0), (2.0, 1.0)], 0.5).unwrap();
+        let t = strategy_table(&p);
+        assert_eq!(t.num_rows(), dls_core::registry().len());
+        let rendered = t.render();
+        assert!(rendered.contains("n/a"));
+        assert!(rendered.contains("bus"));
     }
 }

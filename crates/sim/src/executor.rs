@@ -207,11 +207,7 @@ mod tests {
     }
 
     fn platform() -> Platform {
-        Platform::new(vec![
-            Worker::new(1.0, 2.0, 0.5),
-            Worker::new(2.0, 1.0, 1.0),
-        ])
-        .unwrap()
+        Platform::new(vec![Worker::new(1.0, 2.0, 0.5), Worker::new(2.0, 1.0, 1.0)]).unwrap()
     }
 
     #[test]
@@ -334,11 +330,8 @@ mod tests {
 
     #[test]
     fn master_port_never_double_booked() {
-        let p = Platform::star_with_z(
-            &[(1.0, 2.0), (2.0, 1.0), (1.5, 3.0), (0.7, 4.0)],
-            0.5,
-        )
-        .unwrap();
+        let p =
+            Platform::star_with_z(&[(1.0, 2.0), (2.0, 1.0), (1.5, 3.0), (0.7, 4.0)], 0.5).unwrap();
         let sol = optimal_lifo(&p).unwrap();
         for policy in [MasterPolicy::SendsThenReceives, MasterPolicy::Interleaved] {
             let rep = simulate(

@@ -57,9 +57,8 @@ pub fn render(trace: &Trace, cfg: &GanttConfig) -> String {
         return out;
     }
 
-    let col = |t: f64| -> usize {
-        (((t / makespan) * width as f64).floor() as usize).min(width - 1)
-    };
+    let col =
+        |t: f64| -> usize { (((t / makespan) * width as f64).floor() as usize).min(width - 1) };
 
     let paint = |row: &mut [char], start: f64, end: f64, glyph: char| {
         if end <= start {
@@ -78,7 +77,11 @@ pub fn render(trace: &Trace, cfg: &GanttConfig) -> String {
             paint(&mut master, s.start, s.end, cfg.glyph(s.kind));
         }
     }
-    out.push_str(&format!("{:>8} |{}|\n", "master", master.iter().collect::<String>()));
+    out.push_str(&format!(
+        "{:>8} |{}|\n",
+        "master",
+        master.iter().collect::<String>()
+    ));
 
     // Worker rows.
     for w in trace.workers() {

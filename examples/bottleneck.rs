@@ -6,10 +6,10 @@
 //!
 //! Run with: `cargo run --release --example bottleneck`
 
-use one_port_dls::core::prelude::*;
-use one_port_dls::core::PortModel;
-use one_port_dls::platform::{ClusterModel, MatrixApp};
-use one_port_dls::report::{num, Table};
+use dls::core::prelude::*;
+use dls::core::PortModel;
+use dls::platform::{ClusterModel, MatrixApp};
+use dls::report::{num, Table};
 
 fn main() {
     let cluster = ClusterModel::gdsdmi();
@@ -38,11 +38,7 @@ fn main() {
             } else {
                 "compute-bound".into()
             },
-            format!(
-                "{}/{}",
-                d.binding_workers().len(),
-                p.num_workers()
-            ),
+            format!("{}/{}", d.binding_workers().len(), p.num_workers()),
         ]);
     }
     println!("Shadow prices of LP (2): where does the throughput bottleneck live?\n");

@@ -11,21 +11,18 @@
 //!
 //! Run with: `cargo run --release --example crypto_keys`
 
-use one_port_dls::core::brute_force::best_fifo;
-use one_port_dls::core::prelude::*;
-use one_port_dls::core::PortModel;
-use one_port_dls::platform::Platform;
-use one_port_dls::report::{num, Table};
+use dls::core::brute_force::best_fifo;
+use dls::core::prelude::*;
+use dls::core::PortModel;
+use dls::platform::Platform;
+use dls::report::{num, Table};
 
 fn main() {
     // Key-generation batches: tiny request (c), heavy compute (w), large
     // response (d = 8c — each request returns a bundle of generated keys).
     let z = 8.0;
-    let platform = Platform::star_with_z(
-        &[(0.2, 3.0), (0.5, 2.0), (0.1, 4.0), (0.35, 2.5)],
-        z,
-    )
-    .expect("valid platform");
+    let platform = Platform::star_with_z(&[(0.2, 3.0), (0.5, 2.0), (0.1, 4.0), (0.35, 2.5)], z)
+        .expect("valid platform");
     println!("key-generation platform (z = {z}):\n{platform}");
 
     let sol = optimal_fifo(&platform).expect("z-tied");
@@ -33,7 +30,10 @@ fn main() {
         "optimal FIFO send order (non-increasing c): {:?}",
         sol.schedule.send_order()
     );
-    println!("throughput rho = {:.5} batches per unit time\n", sol.throughput);
+    println!(
+        "throughput rho = {:.5} batches per unit time\n",
+        sol.throughput
+    );
 
     // Certify against exhaustive search over all 4! FIFO orders.
     let brute = best_fifo(&platform, PortModel::OnePort).expect("small platform");

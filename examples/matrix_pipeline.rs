@@ -6,10 +6,10 @@
 //!
 //! Run with: `cargo run --release --example matrix_pipeline [n] [M]`
 
-use one_port_dls::core::prelude::*;
-use one_port_dls::platform::{ClusterModel, MatrixApp, PlatformSampler};
-use one_port_dls::report::{num, Table};
-use one_port_dls::sim::{simulate, SimConfig};
+use dls::core::prelude::*;
+use dls::platform::{ClusterModel, MatrixApp, PlatformSampler};
+use dls::report::{num, Table};
+use dls::sim::{simulate, SimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

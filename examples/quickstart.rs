@@ -4,10 +4,10 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use one_port_dls::core::prelude::*;
-use one_port_dls::core::PortModel;
-use one_port_dls::platform::Platform;
-use one_port_dls::sim::{gantt, simulate, SimConfig};
+use dls::core::prelude::*;
+use dls::core::PortModel;
+use dls::platform::Platform;
+use dls::sim::{gantt, simulate, SimConfig};
 
 fn main() {
     // Five workers (c = time to ship one load unit, w = time to process

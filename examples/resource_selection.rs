@@ -8,9 +8,9 @@
 //!
 //! Run with: `cargo run --release --example resource_selection`
 
-use one_port_dls::core::prelude::*;
-use one_port_dls::platform::scenario;
-use one_port_dls::report::{num, Table};
+use dls::core::prelude::*;
+use dls::platform::scenario;
+use dls::report::{num, Table};
 
 fn main() {
     let n = 400;

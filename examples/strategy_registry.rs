@@ -1,0 +1,31 @@
+//! Compare every registered scheduling strategy on one platform — the
+//! one-screen tour of the `Scheduler` engine API.
+//!
+//! Run with: `cargo run --example strategy_registry [p]` where `p` is the
+//! number of workers (default 5, bus platform so every strategy applies).
+
+use dls::prelude::*;
+
+fn main() {
+    let p: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
+    let ws: Vec<f64> = (0..p).map(|i| 2.0 + ((i * 7) % 5) as f64).collect();
+    let platform = Platform::bus(1.0, 0.5, &ws).expect("valid bus");
+
+    println!("{p}-worker bus, c = 1, d = 0.5 (z = 1/2), w = {ws:?}\n");
+    println!("{}", strategy_table(&platform).render());
+
+    // The same registry, programmatically: find the best verified strategy.
+    let best = dls::core::registry()
+        .into_iter()
+        .filter_map(|s| {
+            let sol = s.solve(&platform).ok()?;
+            sol.verified_timeline(&platform, 1e-7).ok()?;
+            Some((s.name().to_string(), sol.throughput))
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("at least one strategy solves a bus");
+    println!("best verified strategy: {} (rho = {:.6})", best.0, best.1);
+}

@@ -6,9 +6,9 @@
 //!
 //! Run with: `cargo run --release --example trace_gantt [fifo|lifo]`
 
-use one_port_dls::core::prelude::*;
-use one_port_dls::platform::scenario;
-use one_port_dls::sim::{gantt, simulate, SimConfig};
+use dls::core::prelude::*;
+use dls::platform::scenario;
+use dls::sim::{gantt, simulate, SimConfig};
 
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_else(|| "fifo".into());

@@ -1,4 +1,4 @@
-//! # one-port-dls — facade crate
+//! # dls — facade crate
 //!
 //! Single-import access to the complete reproduction of Beaumont, Marchal,
 //! Rehn & Robert, *"FIFO scheduling of divisible loads with return messages
@@ -16,12 +16,18 @@
 //! * [`report`] — tables, statistics, series files, parallel map.
 //!
 //! ```
-//! use one_port_dls::core::prelude::*;
-//! use one_port_dls::platform::Platform;
+//! use dls::prelude::*;
 //!
 //! let p = Platform::star_with_z(&[(2.0, 5.0), (1.0, 4.0)], 0.5).unwrap();
 //! let best = optimal_fifo(&p).unwrap();
 //! assert!(best.throughput > 0.0);
+//!
+//! // Or compare every registered strategy through the engine API:
+//! for s in dls::core::registry() {
+//!     if let Ok(sol) = s.solve(&p) {
+//!         println!("{:>12}  rho = {:.4}", s.name(), sol.throughput);
+//!     }
+//! }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -32,3 +38,13 @@ pub use dls_lp as lp;
 pub use dls_platform as platform;
 pub use dls_report as report;
 pub use dls_sim as sim;
+
+/// One-import access to the items used by almost every program: the whole
+/// `dls-core` prelude (solvers, the scheduler engine, timelines) plus the
+/// platform, simulator and report entry points.
+pub mod prelude {
+    pub use dls_core::prelude::*;
+    pub use dls_platform::{Platform, PlatformSampler, Worker, WorkerId};
+    pub use dls_report::{strategy_table, Table};
+    pub use dls_sim::{simulate, SimConfig};
+}

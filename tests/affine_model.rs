@@ -2,9 +2,9 @@
 //! the affine LP, the affine analytic makespan, and the simulator's
 //! per-message latency model.
 
-use one_port_dls::core::prelude::*;
-use one_port_dls::platform::Platform;
-use one_port_dls::sim::{simulate, Noise, RealismModel, SimConfig};
+use dls::core::prelude::*;
+use dls::platform::Platform;
+use dls::sim::{simulate, Noise, RealismModel, SimConfig};
 use proptest::prelude::*;
 
 fn cost() -> impl Strategy<Value = f64> {

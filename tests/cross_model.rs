@@ -6,10 +6,10 @@
 //! * optimal LIFO == exhaustive LIFO (companion-paper characterization);
 //! * one-port LIFO == two-port LIFO (returns never overlap sends).
 
-use one_port_dls::core::brute_force::{best_fifo, best_lifo, best_scenario};
-use one_port_dls::core::prelude::*;
-use one_port_dls::core::PortModel;
-use one_port_dls::platform::Platform;
+use dls::core::brute_force::{best_fifo, best_lifo, best_scenario};
+use dls::core::prelude::*;
+use dls::core::PortModel;
+use dls::platform::Platform;
 use proptest::prelude::*;
 
 fn cost() -> impl Strategy<Value = f64> {
@@ -77,7 +77,7 @@ proptest! {
     fn extra_worker_never_hurts(p in star(3), c in cost(), w in cost()) {
         let base = optimal_fifo(&p).unwrap().throughput;
         let mut workers = p.workers().to_vec();
-        workers.push(one_port_dls::platform::Worker::with_z(c, w, 0.5));
+        workers.push(dls::platform::Worker::with_z(c, w, 0.5));
         let bigger = Platform::new(workers).unwrap();
         let more = optimal_fifo(&bigger).unwrap().throughput;
         prop_assert!(more >= base - 1e-7,
@@ -90,7 +90,7 @@ proptest! {
 /// conjectures NP-hardness).
 #[test]
 fn free_permutations_can_strictly_win() {
-    use one_port_dls::platform::Worker;
+    use dls::platform::Worker;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(99);

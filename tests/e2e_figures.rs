@@ -65,7 +65,10 @@ fn fig11_ranking_shape() {
         .find(|(n, _)| n == "INC_W lp/INC_C lp")
         .unwrap()
         .1;
-    assert!(inc_w_lp >= 1.0 - 1e-9, "INC_W beat the optimal FIFO: {inc_w_lp}");
+    assert!(
+        inc_w_lp >= 1.0 - 1e-9,
+        "INC_W beat the optimal FIFO: {inc_w_lp}"
+    );
     // LIFO leads on compute-bound platforms *on average* in the paper's
     // plots, but the sign of the FIFO/LIFO gap flips with the comm/compute
     // regime of each random draw (see EXPERIMENTS.md): at smoke scale

@@ -3,10 +3,10 @@
 //! agree to 1e-9 (same optimal basis value — the vertices are rational
 //! functions of the platform data).
 
-use one_port_dls::core::lp_model::{solve_fifo, solve_lifo, solve_scenario_exact};
-use one_port_dls::core::PortModel;
-use one_port_dls::lp::{Rational, Scalar};
-use one_port_dls::platform::Platform;
+use dls::core::lp_model::{solve_fifo, solve_lifo, solve_scenario_exact};
+use dls::core::PortModel;
+use dls::lp::{Rational, Scalar};
+use dls::platform::Platform;
 use proptest::prelude::*;
 
 /// Quarter-integer costs are exactly representable in both backends.
@@ -61,15 +61,11 @@ proptest! {
 /// `1/(c + w + d)` — certified in rationals with zero tolerance.
 #[test]
 fn single_worker_closed_form_is_exact() {
-    use one_port_dls::platform::WorkerId;
+    use dls::platform::WorkerId;
     let p = Platform::star_with_z(&[(2.0, 3.0)], 0.5).unwrap();
-    let (rho, loads) = solve_scenario_exact::<Rational>(
-        &p,
-        &[WorkerId(0)],
-        &[WorkerId(0)],
-        PortModel::OnePort,
-    )
-    .unwrap();
+    let (rho, loads) =
+        solve_scenario_exact::<Rational>(&p, &[WorkerId(0)], &[WorkerId(0)], PortModel::OnePort)
+            .unwrap();
     assert_eq!(rho, Rational::new(1, 6));
     assert_eq!(loads[0], Rational::new(1, 6));
 }

@@ -2,10 +2,10 @@
 //! realism model reproduces the analytical timeline of `dls-core` exactly,
 //! for arbitrary schedules and permutation pairs.
 
-use one_port_dls::core::prelude::*;
-use one_port_dls::core::{PortModel, Schedule};
-use one_port_dls::platform::{Platform, WorkerId};
-use one_port_dls::sim::{simulate, SimConfig};
+use dls::core::prelude::*;
+use dls::core::{PortModel, Schedule};
+use dls::platform::{Platform, WorkerId};
+use dls::sim::{simulate, SimConfig};
 use proptest::prelude::*;
 
 fn cost() -> impl Strategy<Value = f64> {
@@ -41,8 +41,7 @@ fn scenario() -> impl Strategy<Value = (Platform, Schedule)> {
                 let send: Vec<WorkerId> = s1.into_iter().map(WorkerId).collect();
                 let ret: Vec<WorkerId> = s2.into_iter().map(WorkerId).collect();
                 let loads: Vec<f64> = loads.into_iter().map(|l| l as f64 / 4.0).collect();
-                let schedule =
-                    Schedule::new(&platform, send, ret, loads).expect("valid schedule");
+                let schedule = Schedule::new(&platform, send, ret, loads).expect("valid schedule");
                 (platform, schedule)
             })
     })

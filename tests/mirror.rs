@@ -2,9 +2,9 @@
 //! worker's `c` and `d` and reading schedules backwards is a throughput-
 //! preserving bijection between the two platforms' schedule spaces.
 
-use one_port_dls::core::prelude::*;
-use one_port_dls::core::{PortModel, Schedule};
-use one_port_dls::platform::{Platform, WorkerId};
+use dls::core::prelude::*;
+use dls::core::{PortModel, Schedule};
+use dls::platform::{Platform, WorkerId};
 use proptest::prelude::*;
 
 fn cost() -> impl Strategy<Value = f64> {

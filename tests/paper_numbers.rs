@@ -3,12 +3,12 @@
 //! Every expected value below was derived by hand from the paper's
 //! equations, independently of the implementation.
 
-use one_port_dls::core::closed_form::{bus_fifo, star_lifo, BusRegime};
-use one_port_dls::core::lp_model::solve_scenario_exact;
-use one_port_dls::core::prelude::*;
-use one_port_dls::core::PortModel;
-use one_port_dls::lp::Rational;
-use one_port_dls::platform::{Platform, WorkerId};
+use dls::core::closed_form::{bus_fifo, star_lifo, BusRegime};
+use dls::core::lp_model::solve_scenario_exact;
+use dls::core::prelude::*;
+use dls::core::PortModel;
+use dls::lp::Rational;
+use dls::platform::{Platform, WorkerId};
 
 fn close(a: f64, b: f64) {
     assert!((a - b).abs() < 1e-12, "expected {b}, got {a}");
@@ -82,8 +82,7 @@ fn lifo_chain_by_hand() {
     // Exact LIFO LP agrees.
     let order: Vec<WorkerId> = p.ids().collect();
     let rev: Vec<WorkerId> = order.iter().rev().copied().collect();
-    let (rho, _) =
-        solve_scenario_exact::<Rational>(&p, &order, &rev, PortModel::OnePort).unwrap();
+    let (rho, _) = solve_scenario_exact::<Rational>(&p, &order, &rev, PortModel::OnePort).unwrap();
     assert_eq!(rho, Rational::new(22, 49));
     // On this bus instance FIFO (22/47) beats LIFO (22/49): the identical
     // numerators are a neat coincidence of the algebra, and the comparison
@@ -119,11 +118,7 @@ fn single_worker_all_models() {
 /// uses sigma1 = (1,2,3,4), sigma2 = (1,3,2,4)).
 #[test]
 fn figure2_permutation_pair_shape() {
-    let p = Platform::star_with_z(
-        &[(1.0, 2.0), (1.5, 1.0), (2.0, 3.0), (1.2, 2.5)],
-        0.5,
-    )
-    .unwrap();
+    let p = Platform::star_with_z(&[(1.0, 2.0), (1.5, 1.0), (2.0, 3.0), (1.2, 2.5)], 0.5).unwrap();
     let s1: Vec<WorkerId> = [0, 1, 2, 3].map(WorkerId).to_vec();
     let s2: Vec<WorkerId> = [0, 2, 1, 3].map(WorkerId).to_vec();
     let sol = solve_scenario(&p, &s1, &s2, PortModel::OnePort).unwrap();

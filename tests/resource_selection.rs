@@ -3,8 +3,8 @@
 //! chain-solver subset enumeration, and probe the prefix-vs-subset
 //! ablation of DESIGN.md §8.
 
-use one_port_dls::core::prelude::*;
-use one_port_dls::platform::{Platform, Worker};
+use dls::core::prelude::*;
+use dls::platform::{Platform, Worker};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -112,7 +112,7 @@ fn optimal_selection_is_a_c_sorted_prefix_empirically() {
 /// x = 3 exactly as the paper reports.
 #[test]
 fn fig14_enrollment_flip() {
-    use one_port_dls::platform::scenario::fig14_platform;
+    use dls::platform::scenario::fig14_platform;
     let slow = fig14_platform(1.0, 400);
     let sol = optimal_fifo(&slow).unwrap();
     assert_eq!(sol.schedule.participants().len(), 3, "x=1 must exclude P4");

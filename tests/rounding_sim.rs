@@ -2,10 +2,10 @@
 //! matrices before running. These tests bound the damage rounding can do
 //! and confirm the rounded schedules stay feasible end to end.
 
-use one_port_dls::core::prelude::*;
-use one_port_dls::core::PortModel;
-use one_port_dls::platform::Platform;
-use one_port_dls::sim::{simulate, SimConfig};
+use dls::core::prelude::*;
+use dls::core::PortModel;
+use dls::platform::Platform;
+use dls::sim::{simulate, SimConfig};
 use proptest::prelude::*;
 
 fn cost() -> impl Strategy<Value = f64> {

@@ -3,10 +3,10 @@
 //! `z > 1`), with resource selection performed by the LP. Ground truth is
 //! exhaustive enumeration of all FIFO orders.
 
-use one_port_dls::core::brute_force::best_fifo;
-use one_port_dls::core::prelude::*;
-use one_port_dls::core::PortModel;
-use one_port_dls::platform::Platform;
+use dls::core::brute_force::best_fifo;
+use dls::core::prelude::*;
+use dls::core::PortModel;
+use dls::platform::Platform;
 use proptest::prelude::*;
 
 /// Small positive grid values keep LPs well-conditioned.

@@ -3,12 +3,12 @@
 //! under worker reordering (Adler-Gong-Rosenberg equivalence of FIFO
 //! strategies on a bus).
 
-use one_port_dls::core::closed_form::{bus_fifo, BusRegime};
-use one_port_dls::core::lp_model::solve_scenario_exact;
-use one_port_dls::core::prelude::*;
-use one_port_dls::core::PortModel;
-use one_port_dls::lp::{Rational, Scalar};
-use one_port_dls::platform::Platform;
+use dls::core::closed_form::{bus_fifo, BusRegime};
+use dls::core::lp_model::solve_scenario_exact;
+use dls::core::prelude::*;
+use dls::core::PortModel;
+use dls::lp::{Rational, Scalar};
+use dls::platform::Platform;
 use proptest::prelude::*;
 
 fn wcost() -> impl Strategy<Value = f64> {
