@@ -1,12 +1,17 @@
-//! Criterion benchmarks of the LP substrate: simplex scaling on the
-//! paper's scheduling LPs (2p variables, 3p+1 constraints) and pivot-rule
-//! sensitivity.
+//! Criterion benchmarks of the LP substrate: tableau vs revised simplex
+//! scaling on the paper's scheduling LPs (2p variables, 3p+1 constraints),
+//! pivot-rule sensitivity, and warm-start effectiveness.
+//!
+//! Running with `--smoke` skips the benchmark groups and instead times the
+//! p = 128 revised solve against the checked-in baseline
+//! (`benches/solver_baseline.json`), exiting nonzero on a >2x regression —
+//! the CI gate for the sweep hot path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use dls_core::lp_model::build_problem;
 use dls_core::PortModel;
-use dls_lp::{solve_with, SolverOptions};
-use dls_platform::{Heterogeneity, PlatformSampler};
+use dls_lp::{solve_revised_with, solve_with, BasisCache, Problem, SolverOptions};
+use dls_platform::{Heterogeneity, Platform, PlatformSampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -20,13 +25,28 @@ fn sampler(workers: usize) -> PlatformSampler {
     }
 }
 
+/// The FIFO scheduling LP for a seeded random star with `p` workers.
+fn fifo_lp(p: usize, seed: u64) -> (Platform, Problem) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let platform = sampler(p).sample_abstract(5.0, 0.5, &mut rng);
+    let order = platform.order_by_c();
+    let (lp, _) = build_problem(&platform, &order, &order, PortModel::OnePort).unwrap();
+    (platform, lp)
+}
+
+/// Worker counts for the scaling curves. The revised solver's advantage
+/// grows with p; 256 is far beyond the paper's 11-worker platforms.
+const SCALING: [usize; 7] = [4, 8, 16, 32, 64, 128, 256];
+
 fn bench_fifo_lp_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("simplex/fifo_lp");
-    for p in [4usize, 8, 16, 32, 64, 128] {
-        let mut rng = StdRng::seed_from_u64(7);
-        let platform = sampler(p).sample_abstract(5.0, 0.5, &mut rng);
-        let order = platform.order_by_c();
-        let (lp, _) = build_problem(&platform, &order, &order, PortModel::OnePort).unwrap();
+    for p in SCALING {
+        if p > 128 {
+            // The dense tableau at p = 256 is too slow for the default
+            // sample budget; the revised group covers the full curve.
+            continue;
+        }
+        let (_, lp) = fifo_lp(p, 7);
         group.bench_with_input(BenchmarkId::from_parameter(p), &lp, |b, lp| {
             b.iter(|| {
                 let opts = SolverOptions::for_size(lp.num_vars(), lp.num_constraints());
@@ -37,12 +57,70 @@ fn bench_fifo_lp_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_pivot_rules(c: &mut Criterion) {
-    // Dantzig (default until bland_after) vs pure Bland on the same LP.
-    let mut rng = StdRng::seed_from_u64(11);
+fn bench_revised_lp_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("revised/fifo_lp");
+    for p in SCALING {
+        let (_, lp) = fifo_lp(p, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &lp, |b, lp| {
+            b.iter(|| {
+                let opts = SolverOptions::for_size(lp.num_vars(), lp.num_constraints());
+                black_box(
+                    solve_revised_with::<f64>(lp, &opts, None)
+                        .unwrap()
+                        .solution
+                        .objective,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_warm_start(c: &mut Criterion) {
+    // The sweep access pattern: FIFO then LIFO then a re-solve on the same
+    // platform, sharing one basis cache — vs the same three solves cold.
+    let mut rng = StdRng::seed_from_u64(13);
     let platform = sampler(32).sample_abstract(5.0, 0.5, &mut rng);
     let order = platform.order_by_c();
-    let (lp, _) = build_problem(&platform, &order, &order, PortModel::OnePort).unwrap();
+    let rev: Vec<_> = order.iter().rev().copied().collect();
+    let (fifo, _) = build_problem(&platform, &order, &order, PortModel::OnePort).unwrap();
+    let (lifo, _) = build_problem(&platform, &order, &rev, PortModel::OnePort).unwrap();
+    let opts = SolverOptions::for_size(fifo.num_vars(), fifo.num_constraints());
+
+    let mut group = c.benchmark_group("revised/warm_start");
+    group.bench_function("cold_triple", |b| {
+        b.iter(|| {
+            let a = solve_revised_with::<f64>(&fifo, &opts, None).unwrap();
+            let b2 = solve_revised_with::<f64>(&lifo, &opts, None).unwrap();
+            let c2 = solve_revised_with::<f64>(&fifo, &opts, None).unwrap();
+            black_box((
+                a.solution.objective,
+                b2.solution.objective,
+                c2.solution.objective,
+            ))
+        })
+    });
+    group.bench_function("cached_triple", |b| {
+        b.iter(|| {
+            // One key per scenario shape, as `dls_core::lp_model` does: the
+            // FIFO re-solve warm-starts from the first solve's basis.
+            let mut cache = BasisCache::new();
+            let a = cache.solve::<f64>(1, &fifo, &opts).unwrap();
+            let b2 = cache.solve::<f64>(2, &lifo, &opts).unwrap();
+            let c2 = cache.solve::<f64>(1, &fifo, &opts).unwrap();
+            black_box((
+                a.solution.objective,
+                b2.solution.objective,
+                c2.solution.objective,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_pivot_rules(c: &mut Criterion) {
+    // Dantzig (default until bland_after) vs pure Bland on the same LP.
+    let (_, lp) = fifo_lp(32, 11);
 
     let mut group = c.benchmark_group("simplex/pivot_rule");
     group.bench_function("dantzig_then_bland", |b| {
@@ -56,6 +134,7 @@ fn bench_pivot_rules(c: &mut Criterion) {
             let opts = SolverOptions {
                 max_iterations: 1_000_000,
                 bland_after: 0,
+                refactor_every: 48,
             };
             black_box(solve_with::<f64>(&lp, &opts).unwrap().iterations)
         })
@@ -63,5 +142,155 @@ fn bench_pivot_rules(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fifo_lp_scaling, bench_pivot_rules);
-criterion_main!(benches);
+criterion_group!(
+    benches,
+    bench_fifo_lp_scaling,
+    bench_revised_lp_scaling,
+    bench_warm_start,
+    bench_pivot_rules
+);
+
+// ---------------------------------------------------------------------------
+// `--smoke`: the CI regression gate on the p = 128 sweep hot path.
+// ---------------------------------------------------------------------------
+
+/// Reads the `"key": <number>` field out of the (flat) baseline JSON.
+///
+/// A real (tiny) scanner rather than a substring search: it walks the
+/// document string-by-string, so a key name quoted inside the `comment`
+/// field can never be mistaken for the key itself, and string *values* are
+/// consumed whole. Accepts `+` exponents.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    // Returns (string contents, index just past the closing quote).
+    fn read_string(bytes: &[u8], open: usize) -> (usize, usize) {
+        let mut j = open + 1;
+        while j < bytes.len() && bytes[j] != b'"' {
+            if bytes[j] == b'\\' {
+                j += 1;
+            }
+            j += 1;
+        }
+        (open + 1, j)
+    }
+    let bytes = doc.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let (start, end) = read_string(bytes, i);
+        let name = &doc[start..end.min(doc.len())];
+        i = end + 1;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b':' {
+            continue; // a string value or malformed input; keep scanning
+        }
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i < bytes.len() && bytes[i] == b'"' {
+            // String value (the comment): consume it so its contents are
+            // never scanned for keys.
+            let (_, vend) = read_string(bytes, i);
+            i = vend + 1;
+            continue;
+        }
+        let vstart = i;
+        while i < bytes.len() && matches!(bytes[i], b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E')
+        {
+            i += 1;
+        }
+        if name == key {
+            return doc[vstart..i].parse().ok();
+        }
+    }
+    None
+}
+
+/// Times one p = 128 revised solve (best of `runs`, in nanoseconds).
+fn time_p128_ns(runs: usize) -> f64 {
+    let (_, lp) = fifo_lp(128, 7);
+    let opts = SolverOptions::for_size(lp.num_vars(), lp.num_constraints());
+    // Warm-up.
+    black_box(solve_revised_with::<f64>(&lp, &opts, None).unwrap());
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t = std::time::Instant::now();
+        black_box(solve_revised_with::<f64>(&lp, &opts, None).unwrap());
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// Machine-speed probe: a fixed 160x160 f64 matrix product, solver-free,
+/// so the gate normalizes for the runner's speed relative to the machine
+/// that recorded the baseline instead of comparing absolute wall clocks.
+fn time_calibration_ns(runs: usize) -> f64 {
+    const N: usize = 160;
+    let a: Vec<f64> = (0..N * N).map(|i| (i % 97) as f64 * 0.013).collect();
+    let b: Vec<f64> = (0..N * N).map(|i| (i % 89) as f64 * 0.011).collect();
+    let matmul = |a: &[f64], b: &[f64]| -> f64 {
+        let mut c = vec![0.0f64; N * N];
+        for i in 0..N {
+            for k in 0..N {
+                let aik = a[i * N + k];
+                for j in 0..N {
+                    c[i * N + j] += aik * b[k * N + j];
+                }
+            }
+        }
+        c[N + 1]
+    };
+    black_box(matmul(&a, &b)); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t = std::time::Instant::now();
+        black_box(matmul(&a, &b));
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn smoke() {
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/benches/solver_baseline.json");
+    let doc = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {baseline_path}: {e}"));
+    let baseline_ns =
+        json_number(&doc, "p128_revised_ns").expect("baseline JSON missing p128_revised_ns");
+    let baseline_cal_ns =
+        json_number(&doc, "calibration_ns").expect("baseline JSON missing calibration_ns");
+    let max_ratio = json_number(&doc, "max_regression").unwrap_or(2.0);
+
+    // Speed factor of this machine vs the baseline machine, clamped so a
+    // wildly off calibration cannot mask a real solver regression.
+    let speed = (time_calibration_ns(5) / baseline_cal_ns).clamp(0.25, 4.0);
+    let measured_ns = time_p128_ns(5);
+    let ratio = measured_ns / (baseline_ns * speed);
+    println!(
+        "smoke: p=128 revised solve {:.2} ms (baseline {:.2} ms, machine speed {speed:.2}x, \
+         normalized ratio {ratio:.2}, gate {max_ratio:.1}x)",
+        measured_ns / 1e6,
+        baseline_ns / 1e6
+    );
+    if ratio > max_ratio {
+        eprintln!(
+            "smoke: FAIL — p=128 solve regressed {ratio:.2}x over the checked-in baseline \
+             after machine-speed normalization \
+             (update benches/solver_baseline.json only with an explanation)"
+        );
+        std::process::exit(1);
+    }
+    println!("smoke: OK");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    benches();
+}

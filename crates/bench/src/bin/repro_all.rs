@@ -44,6 +44,7 @@ fn main() {
     write_text(&out.join("fig09_trace.csv"), &f9.trace_csv).expect("csv");
 
     // --- Figures 10-13.
+    dls_core::lp_model::reset_warm_start_stats();
     for variant in [
         ("fig10", fig10_13::fig10_variant()),
         ("fig11", fig10_13::fig11_variant()),
@@ -57,6 +58,14 @@ fn main() {
         println!("{}\n", res.label);
         let table = res.table();
         println!("{}", table.render());
+        for row in &res.rows {
+            for skip in &row.skipped {
+                println!(
+                    "  note: n = {}: {} skipped on {} platform(s): {}",
+                    row.size, skip.legend, skip.platforms, skip.reason
+                );
+            }
+        }
         println!("({} in {:.1?})\n", stem, started.elapsed());
         let (xs, series) = res.series();
         write_dat(
@@ -84,6 +93,14 @@ fn main() {
     }
     write_text(&out.join("fig14_participation.txt"), &f14_all).expect("txt");
 
+    let (warm_hits, lp_solves) = dls_core::lp_model::warm_start_stats();
+    if lp_solves > 0 {
+        println!(
+            "LP engine: {lp_solves} scenario LPs solved, {warm_hits} warm-started \
+             ({:.1}% basis-cache hit rate)",
+            100.0 * warm_hits as f64 / lp_solves as f64
+        );
+    }
     println!(
         "All artefacts regenerated in {:.1?}; outputs under {}/",
         t0.elapsed(),

@@ -72,6 +72,18 @@ impl SweepVariant {
     }
 }
 
+/// A strategy that could not solve one or more platforms at a given size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippedStrategy {
+    /// Legend of the skipped strategy.
+    pub legend: String,
+    /// Number of platforms it failed on (out of the sweep's platform
+    /// count).
+    pub platforms: usize,
+    /// The strategy's own error on the first platform it failed on.
+    pub reason: String,
+}
+
 /// One averaged output row (one matrix size).
 #[derive(Debug, Clone)]
 pub struct SweepRow {
@@ -81,8 +93,14 @@ pub struct SweepRow {
     /// reference curve "INC_C lp").
     pub baseline_lp: f64,
     /// `(series name, averaged ratio vs the baseline lp time)` in a fixed
-    /// order.
+    /// order. Ratios average only the platforms the strategy solved; a
+    /// strategy that solved none is `NaN` here and recorded in `skipped`.
     pub ratios: Vec<(String, f64)>,
+    /// Non-baseline strategies that failed on some platforms at this size,
+    /// with the failure reason (e.g. a closed form inapplicable to a scaled
+    /// variant of the family). The baseline failing is a configuration bug
+    /// and aborts the sweep instead.
+    pub skipped: Vec<SkippedStrategy>,
 }
 
 /// Complete sweep result.
@@ -139,16 +157,27 @@ struct Outcome {
     real_time: f64,
 }
 
+/// Outcome including mid-batch failures of partial strategies.
+enum StrategyOutcome {
+    Done(Outcome),
+    Skipped(String),
+}
+
+/// One `(matrix size, platform)` cell of the cross-size work list.
+struct WorkItem {
+    size_idx: usize,
+    n: usize,
+    platform_idx: usize,
+}
+
 fn run_scheduler(
     platform: &Platform,
     scheduler: &dyn Scheduler,
     total_units: u64,
     realism: RealismModel,
     seed: u64,
-) -> Outcome {
-    let sol = scheduler
-        .solve(platform)
-        .unwrap_or_else(|e| panic!("{} failed in sweep: {e}", scheduler.name()));
+) -> Result<Outcome, dls_core::CoreError> {
+    let sol = scheduler.solve(platform)?;
     // Theoretical time for M units: linearity gives T = M / rho.
     let lp_time = total_units as f64 / sol.throughput;
     let int_sched = integer_schedule(&sol.schedule, total_units);
@@ -161,21 +190,29 @@ fn run_scheduler(
             ..SimConfig::ideal()
         },
     );
-    Outcome {
+    Ok(Outcome {
         lp_time,
         real_time: report.makespan,
-    }
+    })
 }
 
 /// Runs the full sweep for a figure variant.
 ///
+/// The whole `(matrix size × platform)` grid is built up front and fed
+/// through one [`par_map`] call, so worker threads stay saturated across
+/// size boundaries (the per-size barrier of the original pipeline idled the
+/// pool at every size change) and each worker's thread-local LP basis cache
+/// warm-starts the strategies solved on the same platform.
+///
 /// # Panics
-/// Every configured strategy must solve every platform the variant's
-/// sampler can draw (partial strategies like `bus_fifo` or the
-/// size-guarded exhaustive searches do not belong in sweeps). This is
-/// checked up front against the first sampled platform so a
-/// misconfiguration fails immediately with the strategy's own error,
-/// rather than aborting a worker thread mid-sweep.
+/// The *baseline* strategy (first configured id) must solve every platform:
+/// it is probed up front against the first sampled platform and any
+/// mid-batch baseline failure aborts the sweep. Non-baseline strategies
+/// whose error is an *applicability* one (not a bus, not z-tied, too many
+/// workers for exhaustive search) are recorded per row in
+/// [`SweepRow::skipped`] with the strategy's own error instead of aborting
+/// the batch; anything else (an LP solver failure, a malformed order) is a
+/// bug, not a platform mismatch, and still aborts loudly.
 pub fn run_sweep(cfg: &SweepConfig, variant: &SweepVariant) -> SweepResult {
     let cluster = ClusterModel::gdsdmi();
     let schedulers = variant.resolve_schedulers();
@@ -189,35 +226,52 @@ pub fn run_sweep(cfg: &SweepConfig, variant: &SweepVariant) -> SweepResult {
         })
         .collect();
 
-    // Fail fast on strategies that do not apply to this platform family.
+    // Fail fast when the *baseline* does not apply to this platform family:
+    // every ratio normalizes by its lp time, so nothing can be salvaged.
     if let (Some((comm, comp)), Some(&n)) = (factor_sets.first(), cfg.sizes.first()) {
         let probe = cluster
             .platform(&MatrixApp::new(n), comm, comp)
             .expect("sampled factors valid")
             .scale_comp(variant.comp_scale)
             .scale_comm(variant.comm_scale);
-        for s in &schedulers {
-            if let Err(e) = s.solve(&probe) {
-                panic!(
-                    "sweep '{}': strategy '{}' cannot solve this platform family: {e}",
-                    variant.label,
-                    s.name()
-                );
-            }
+        if let Err(e) = schedulers[0].solve(&probe) {
+            panic!(
+                "sweep '{}': baseline strategy '{}' cannot solve this platform family: {e}",
+                variant.label,
+                schedulers[0].name()
+            );
         }
     }
 
-    let mut rows = Vec::with_capacity(cfg.sizes.len());
-    for &n in &cfg.sizes {
-        let app = MatrixApp::new(n);
-        let realism = if variant.cache_effects {
-            RealismModel::cluster_with_cache_effects(n)
-        } else {
-            RealismModel::cluster_jitter()
-        };
+    // The full cross-size work list, one entry per (size, platform) cell.
+    let items: Vec<WorkItem> = cfg
+        .sizes
+        .iter()
+        .enumerate()
+        .flat_map(|(size_idx, &n)| {
+            (0..factor_sets.len()).map(move |platform_idx| WorkItem {
+                size_idx,
+                n,
+                platform_idx,
+            })
+        })
+        .collect();
 
-        // Evaluate all platforms in parallel.
-        let per_platform: Vec<Vec<Outcome>> = par_map(&factor_sets, |(comm, comp)| {
+    // The LP-engine override is a thread-local; capture the caller's choice
+    // and re-apply it inside each par_map worker thread (whose locals reset
+    // to the default), so `with_engine(Tableau, || run_sweep(..))` behaves
+    // identically whether the map runs inline or on the pool.
+    let engine = dls_core::lp_model::current_engine();
+    let evaluated: Vec<Vec<StrategyOutcome>> = par_map(&items, |item| {
+        dls_core::lp_model::with_engine(engine, || {
+            let (comm, comp) = &factor_sets[item.platform_idx];
+            let n = item.n;
+            let app = MatrixApp::new(n);
+            let realism = if variant.cache_effects {
+                RealismModel::cluster_with_cache_effects(n)
+            } else {
+                RealismModel::cluster_jitter()
+            };
             let platform = cluster
                 .platform(&app, comm, comp)
                 .expect("sampled factors valid")
@@ -236,35 +290,91 @@ pub fn run_sweep(cfg: &SweepConfig, variant: &SweepVariant) -> SweepResult {
                         .wrapping_mul(1009)
                         .wrapping_add(si as u64)
                         .wrapping_add(comm.iter().sum::<f64>().to_bits());
-                    run_scheduler(&platform, s.as_ref(), cfg.total_units, realism, seed)
+                    match run_scheduler(&platform, s.as_ref(), cfg.total_units, realism, seed) {
+                        Ok(o) => StrategyOutcome::Done(o),
+                        Err(e) if si == 0 => panic!(
+                            "sweep '{}': baseline strategy '{}' failed on platform {} at n = {n}: {e}",
+                            variant.label,
+                            s.name(),
+                            item.platform_idx
+                        ),
+                        Err(e) if e.is_applicability() => StrategyOutcome::Skipped(e.to_string()),
+                        Err(e) => panic!(
+                            "sweep '{}': strategy '{}' hit a non-applicability error on platform \
+                             {} at n = {n} (a solver bug, not a platform mismatch): {e}",
+                            variant.label,
+                            s.name(),
+                            item.platform_idx
+                        ),
+                    }
                 })
                 .collect()
-        });
+        })
+    });
+
+    // Regroup the flat results by size and aggregate each row.
+    let mut rows = Vec::with_capacity(cfg.sizes.len());
+    for (size_idx, &n) in cfg.sizes.iter().enumerate() {
+        let per_platform: Vec<&Vec<StrategyOutcome>> = items
+            .iter()
+            .zip(&evaluated)
+            .filter(|(item, _)| item.size_idx == size_idx)
+            .map(|(_, outcomes)| outcomes)
+            .collect();
+
+        fn outcome(p: &[StrategyOutcome], si: usize) -> Option<&Outcome> {
+            match &p[si] {
+                StrategyOutcome::Done(o) => Some(o),
+                StrategyOutcome::Skipped(_) => None,
+            }
+        }
 
         // Normalize by each platform's own baseline lp time, then average —
         // matching the paper's "normalized by FIFO theoretical performance"
-        // plots.
+        // plots. Only platforms the strategy solved contribute to its mean.
         let baseline_lp = mean(
             &per_platform
                 .iter()
-                .map(|o| o[0].lp_time)
+                .map(|p| outcome(p, 0).expect("baseline cannot be skipped").lp_time)
                 .collect::<Vec<_>>(),
         );
         let baseline_legend = schedulers[0].legend();
         let mut ratios: Vec<(String, f64)> = Vec::new();
+        let mut skipped: Vec<SkippedStrategy> = Vec::new();
         for (si, s) in schedulers.iter().enumerate() {
-            let lp_ratio = mean(
-                &per_platform
+            let solved: Vec<(&Outcome, &Outcome)> = per_platform
+                .iter()
+                .filter_map(|p| outcome(p, si).map(|o| (o, outcome(p, 0).unwrap())))
+                .collect();
+            let failures = per_platform.len() - solved.len();
+            if failures > 0 {
+                let reason = per_platform
                     .iter()
-                    .map(|o| o[si].lp_time / o[0].lp_time)
-                    .collect::<Vec<_>>(),
-            );
-            let real_ratio = mean(
-                &per_platform
-                    .iter()
-                    .map(|o| o[si].real_time / o[0].lp_time)
-                    .collect::<Vec<_>>(),
-            );
+                    .find_map(|p| match &p[si] {
+                        StrategyOutcome::Skipped(r) => Some(r.clone()),
+                        StrategyOutcome::Done(_) => None,
+                    })
+                    .expect("failures counted above");
+                skipped.push(SkippedStrategy {
+                    legend: s.legend().to_string(),
+                    platforms: failures,
+                    reason,
+                });
+            }
+            let ratio_of = |f: &dyn Fn(&Outcome) -> f64| -> f64 {
+                if solved.is_empty() {
+                    f64::NAN
+                } else {
+                    mean(
+                        &solved
+                            .iter()
+                            .map(|(o, base)| f(o) / base.lp_time)
+                            .collect::<Vec<_>>(),
+                    )
+                }
+            };
+            let lp_ratio = ratio_of(&|o: &Outcome| o.lp_time);
+            let real_ratio = ratio_of(&|o: &Outcome| o.real_time);
             if si != 0 {
                 ratios.push((format!("{} lp/{baseline_legend} lp", s.legend()), lp_ratio));
             }
@@ -277,6 +387,7 @@ pub fn run_sweep(cfg: &SweepConfig, variant: &SweepVariant) -> SweepResult {
             size: n,
             baseline_lp,
             ratios,
+            skipped,
         });
     }
 
@@ -429,10 +540,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot solve this platform family")]
-    fn partial_strategy_in_a_sweep_fails_fast() {
-        // bus_fifo does not apply to the hetero-star family: the sweep must
-        // reject the configuration before spawning worker threads.
+    fn partial_strategy_is_skipped_with_reason() {
+        // bus_fifo does not apply to the hetero-star family: instead of
+        // aborting the whole batch mid-sweep, the row records the skip with
+        // the strategy's own error and the other series stay intact.
         let cfg = SweepConfig {
             sizes: vec![40],
             platforms: 2,
@@ -441,6 +552,91 @@ mod tests {
         };
         let mut v = quick_variant();
         v.schedulers = vec!["inc_c".into(), "bus_fifo".into()];
+        let res = run_sweep(&cfg, &v);
+        let row = &res.rows[0];
+        assert_eq!(row.skipped.len(), 1);
+        assert_eq!(row.skipped[0].legend, "BUS_FIFO");
+        assert_eq!(row.skipped[0].platforms, cfg.platforms);
+        assert!(
+            row.skipped[0].reason.contains("bus"),
+            "reason should carry the strategy error, got: {}",
+            row.skipped[0].reason
+        );
+        // The skipped strategy's ratios are NaN; the baseline's are not.
+        let bus_lp = row
+            .ratios
+            .iter()
+            .find(|(name, _)| name == "BUS_FIFO lp/INC_C lp")
+            .unwrap()
+            .1;
+        assert!(bus_lp.is_nan());
+        assert!(row.baseline_lp > 0.0);
+        let inc_c_real = row
+            .ratios
+            .iter()
+            .find(|(name, _)| name == "INC_C real/INC_C lp")
+            .unwrap()
+            .1;
+        assert!(inc_c_real.is_finite());
+    }
+
+    #[test]
+    fn engine_override_propagates_to_worker_threads() {
+        // `with_engine` is thread-local; run_sweep must re-apply the
+        // caller's override inside its par_map workers, so a tableau-forced
+        // sweep runs (and agrees) regardless of how the map is scheduled.
+        let cfg = SweepConfig {
+            sizes: vec![40, 80],
+            platforms: 3,
+            total_units: 100,
+            base_seed: 21,
+        };
+        let revised = run_sweep(&cfg, &quick_variant());
+        let tableau =
+            dls_core::lp_model::with_engine(dls_core::lp_model::LpEngine::Tableau, || {
+                run_sweep(&cfg, &quick_variant())
+            });
+        for (ra, rb) in revised.rows.iter().zip(&tableau.rows) {
+            assert_eq!(ra.size, rb.size);
+            assert!(
+                (ra.baseline_lp - rb.baseline_lp).abs() <= 1e-6 * ra.baseline_lp,
+                "baselines diverge: {} vs {}",
+                ra.baseline_lp,
+                rb.baseline_lp
+            );
+            for ((na, va), (nb, vb)) in ra.ratios.iter().zip(&rb.ratios) {
+                assert_eq!(na, nb);
+                assert!((va - vb).abs() <= 1e-6, "{na}: {va} vs {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn fully_applicable_sweep_has_no_skips() {
+        let cfg = SweepConfig {
+            sizes: vec![40],
+            platforms: 2,
+            total_units: 50,
+            base_seed: 8,
+        };
+        let res = run_sweep(&cfg, &quick_variant());
+        assert!(res.rows.iter().all(|r| r.skipped.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline strategy 'bus_fifo' cannot solve this platform family")]
+    fn partial_baseline_still_fails_fast() {
+        // The baseline normalizes every ratio: if *it* cannot solve the
+        // family, nothing can be salvaged and the sweep must abort before
+        // spawning worker threads.
+        let cfg = SweepConfig {
+            sizes: vec![40],
+            platforms: 2,
+            total_units: 50,
+            base_seed: 7,
+        };
+        let mut v = quick_variant();
+        v.schedulers = vec!["bus_fifo".into(), "inc_c".into()];
         run_sweep(&cfg, &v);
     }
 

@@ -31,6 +31,22 @@ pub enum CoreError {
     MalformedOrder(String),
 }
 
+impl CoreError {
+    /// `true` when the error means a strategy simply *does not apply* to
+    /// the platform at hand (wrong family, too large for exhaustive
+    /// search) — the benign class that batch runners may record as a skip.
+    /// Everything else (LP failures, malformed orders, invalid platforms)
+    /// is a bug in the caller or the solver and should stay loud. New
+    /// applicability-style variants must be added here so every batch
+    /// runner classifies them consistently.
+    pub fn is_applicability(&self) -> bool {
+        matches!(
+            self,
+            CoreError::NotABus | CoreError::NotZTied | CoreError::TooManyWorkers { .. }
+        )
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -84,6 +100,16 @@ mod tests {
         assert!(CoreError::NotZTied.to_string().contains('z'));
         let e = CoreError::TooManyWorkers { got: 12, limit: 8 };
         assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn applicability_classification() {
+        assert!(CoreError::NotABus.is_applicability());
+        assert!(CoreError::NotZTied.is_applicability());
+        assert!(CoreError::TooManyWorkers { got: 9, limit: 8 }.is_applicability());
+        assert!(!CoreError::from(LpError::Infeasible).is_applicability());
+        assert!(!CoreError::MalformedOrder("dup".into()).is_applicability());
+        assert!(!CoreError::from(PlatformError::Empty).is_applicability());
     }
 
     #[test]

@@ -78,7 +78,9 @@ pub mod prelude {
     pub use crate::engine::{lookup, registry, Provenance, Scheduler, Solution};
     pub use crate::fifo::{inc_c_fifo, inc_w_fifo, optimal_fifo, theorem1_order};
     pub use crate::lifo::optimal_lifo;
-    pub use crate::lp_model::{solve_fifo, solve_lifo, solve_scenario, LpSchedule};
+    pub use crate::lp_model::{
+        solve_fifo, solve_lifo, solve_scenario, warm_start_stats, with_engine, LpEngine, LpSchedule,
+    };
     pub use crate::no_return::{no_return_platform, optimal_no_return};
     pub use crate::rounding::{integer_schedule, round_loads};
     pub use crate::timeline::{makespan, throughput, Timeline};

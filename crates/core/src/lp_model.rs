@@ -25,11 +25,107 @@
 //! The builder is exposed ([`build_problem`]) so tests can solve the same
 //! LP with the exact rational backend.
 
-use dls_lp::{Problem, Relation, Scalar, SolverOptions, VarId};
+use std::cell::{Cell, RefCell};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dls_lp::{BasisCache, LpError, Problem, Relation, Scalar, SolverOptions, VarId};
 use dls_platform::{Platform, WorkerId};
 
 use crate::error::CoreError;
 use crate::schedule::{PortModel, Schedule};
+
+/// Which LP backend solves the scenario LPs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpEngine {
+    /// The dense two-phase tableau ([`dls_lp::solve_with`]).
+    Tableau,
+    /// The revised simplex with eta-file updates and per-thread
+    /// [`BasisCache`] warm starts ([`dls_lp::solve_revised_with`]) — the
+    /// default: same answers, and repeated solves on one platform (the
+    /// FIFO/LIFO/INC_* strategies of a sweep) reuse the previous optimal
+    /// basis instead of re-running from the slack basis.
+    Revised,
+}
+
+thread_local! {
+    static ENGINE: Cell<LpEngine> = const { Cell::new(LpEngine::Revised) };
+    static BASIS_CACHE: RefCell<BasisCache> = RefCell::new(BasisCache::new());
+}
+
+/// Warm-start accounting across all threads (monotonic process-wide
+/// counters; see [`warm_start_stats`]).
+static WARM_HITS: AtomicUsize = AtomicUsize::new(0);
+static LP_SOLVES: AtomicUsize = AtomicUsize::new(0);
+
+/// The engine the current thread uses for scenario LPs.
+pub fn current_engine() -> LpEngine {
+    ENGINE.with(Cell::get)
+}
+
+/// Runs `f` with the scenario-LP engine overridden to `engine` on this
+/// thread, restoring the previous engine afterwards — also on panic, so a
+/// failing assertion inside `f` cannot leak the override into later tests
+/// sharing the thread. Used by the cross-validation tests to force the
+/// tableau path.
+pub fn with_engine<R>(engine: LpEngine, f: impl FnOnce() -> R) -> R {
+    struct Restore(LpEngine);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ENGINE.with(|e| e.set(self.0));
+        }
+    }
+    let _restore = Restore(ENGINE.with(|e| e.replace(engine)));
+    f()
+}
+
+/// `(warm-start hits, total scenario-LP solves)` since process start (or
+/// the last [`reset_warm_start_stats`]), summed over every thread.
+pub fn warm_start_stats() -> (usize, usize) {
+    (
+        WARM_HITS.load(Ordering::Relaxed),
+        LP_SOLVES.load(Ordering::Relaxed),
+    )
+}
+
+/// Zeroes the [`warm_start_stats`] counters.
+pub fn reset_warm_start_stats() {
+    WARM_HITS.store(0, Ordering::Relaxed);
+    LP_SOLVES.store(0, Ordering::Relaxed);
+}
+
+/// Cache key of a scenario family: platform identity (worker cost bits),
+/// enrollment size, port model, and the scenario's *relative return
+/// pattern* (each send position's return position). The pattern keeps
+/// structurally different LPs apart — a LIFO optimum is rarely a feasible
+/// basis for a FIFO LP, and letting them share a slot would evict each
+/// other's bases — while the FIFO-family strategies (`optimal_fifo`,
+/// `inc_c`, `inc_w`: identity pattern, different worker orders) share one
+/// slot and warm-start each other.
+fn scenario_cache_key(
+    platform: &Platform,
+    send_order: &[WorkerId],
+    return_order: &[WorkerId],
+    model: PortModel,
+) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for id in platform.ids() {
+        let w = platform.worker(id);
+        w.c.to_bits().hash(&mut h);
+        w.w.to_bits().hash(&mut h);
+        w.d.to_bits().hash(&mut h);
+    }
+    send_order.len().hash(&mut h);
+    matches!(model, PortModel::OnePort).hash(&mut h);
+    let mut send_pos = vec![usize::MAX; platform.num_workers()];
+    for (k, id) in send_order.iter().enumerate() {
+        send_pos[id.index()] = k;
+    }
+    for id in return_order {
+        send_pos[id.index()].hash(&mut h);
+    }
+    h.finish()
+}
 
 /// Result of solving a scenario LP.
 #[derive(Debug, Clone)]
@@ -45,6 +141,9 @@ pub struct LpSchedule {
     pub lp_idles: Vec<f64>,
     /// Simplex pivots used.
     pub iterations: usize,
+    /// `true` when the solve reused a cached basis from an earlier LP on
+    /// the same platform (skipping the cold start entirely).
+    pub warm_start: bool,
 }
 
 /// Variable handles of a built scenario LP, in enrolled (send-order)
@@ -143,6 +242,12 @@ pub fn build_problem(
 }
 
 /// Solves the scenario LP and packages the optimal schedule.
+///
+/// The LP backend is the thread's [`current_engine`] — by default the
+/// revised simplex with a per-thread [`BasisCache`], so consecutive solves
+/// on the same platform (different orders, different strategies) warm-start
+/// from the previous optimal basis. On the rare numerical failure of the
+/// revised path the tableau engine is retried before reporting an error.
 pub fn solve_scenario(
     platform: &Platform,
     send_order: &[WorkerId],
@@ -150,10 +255,29 @@ pub fn solve_scenario(
     model: PortModel,
 ) -> Result<LpSchedule, CoreError> {
     let (lp, vars) = build_problem(platform, send_order, return_order, model)?;
-    let sol = dls_lp::solve_with::<f64>(
-        &lp,
-        &SolverOptions::for_size(lp.num_vars(), lp.num_constraints()),
-    )?;
+    let opts = SolverOptions::for_size(lp.num_vars(), lp.num_constraints());
+
+    let (sol, warm_start) = match current_engine() {
+        LpEngine::Tableau => (dls_lp::solve_with::<f64>(&lp, &opts)?, false),
+        LpEngine::Revised => {
+            let key = scenario_cache_key(platform, send_order, return_order, model);
+            let res = BASIS_CACHE.with(|c| c.borrow_mut().solve::<f64>(key, &lp, &opts));
+            match res {
+                Ok(r) => (r.solution, r.warm_started),
+                // Infeasible/unbounded are real answers; numerical failures
+                // (iteration limit, singular refactorization) get one shot
+                // on the tableau before surfacing.
+                Err(LpError::IterationLimit { .. }) | Err(LpError::SingularBasis) => {
+                    (dls_lp::solve_with::<f64>(&lp, &opts)?, false)
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    };
+    LP_SOLVES.fetch_add(1, Ordering::Relaxed);
+    if warm_start {
+        WARM_HITS.fetch_add(1, Ordering::Relaxed);
+    }
 
     let mut loads = vec![0.0; platform.num_workers()];
     let mut lp_idles = vec![0.0; platform.num_workers()];
@@ -167,6 +291,7 @@ pub fn solve_scenario(
         schedule,
         lp_idles,
         iterations: sol.iterations,
+        warm_start,
     })
 }
 
@@ -304,6 +429,58 @@ mod tests {
         )
         .unwrap();
         assert!((f.throughput - rho.to_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tableau_and_revised_engines_agree() {
+        let p = platform();
+        let order = ids(&[0, 1, 2]);
+        for model in [PortModel::OnePort, PortModel::TwoPort] {
+            let revised = solve_fifo(&p, &order, model).unwrap();
+            let tableau = with_engine(LpEngine::Tableau, || solve_fifo(&p, &order, model).unwrap());
+            assert!(!tableau.warm_start);
+            let rel =
+                (revised.throughput - tableau.throughput).abs() / tableau.throughput.abs().max(1.0);
+            assert!(
+                rel <= 1e-9,
+                "engines disagree under {model:?}: revised {} vs tableau {}",
+                revised.throughput,
+                tableau.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_solves_on_one_platform_warm_start() {
+        let p = platform();
+        let order = ids(&[0, 1, 2]);
+        let first = solve_fifo(&p, &order, PortModel::OnePort).unwrap();
+        // An identical re-solve is offered the previous optimal basis,
+        // which stays optimal: guaranteed hit, zero pivots.
+        let again = solve_fifo(&p, &order, PortModel::OnePort).unwrap();
+        assert!(again.warm_start, "identical re-solve must hit the cache");
+        assert!(again.iterations <= first.iterations);
+        assert!((again.throughput - first.throughput).abs() < 1e-12);
+        // Same platform, reversed return order (the LIFO LP): same shape,
+        // so the cached basis is *offered*; whether or not it is accepted,
+        // the answer must match a cold tableau solve.
+        let lifo = solve_lifo(&p, &order, PortModel::OnePort).unwrap();
+        let lifo_cold = with_engine(LpEngine::Tableau, || {
+            solve_lifo(&p, &order, PortModel::OnePort).unwrap()
+        });
+        assert!((lifo.throughput - lifo_cold.throughput).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_stats_accumulate() {
+        let p = platform();
+        let order = ids(&[0, 1, 2]);
+        let (h0, s0) = warm_start_stats();
+        let _ = solve_fifo(&p, &order, PortModel::OnePort).unwrap();
+        let _ = solve_fifo(&p, &order, PortModel::OnePort).unwrap();
+        let (h1, s1) = warm_start_stats();
+        assert!(s1 >= s0 + 2);
+        assert!(h1 > h0, "second identical solve must count as a warm hit");
     }
 
     #[test]

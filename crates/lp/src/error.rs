@@ -31,6 +31,11 @@ pub enum LpError {
     },
     /// The problem has no variables.
     Empty,
+    /// The revised solver's basis matrix could not be factorized (singular
+    /// at the working tolerance). A cold start never produces this — the
+    /// initial slack/artificial basis is an identity — so it signals a
+    /// numerically collapsed instance.
+    SingularBasis,
 }
 
 impl fmt::Display for LpError {
@@ -49,6 +54,9 @@ impl fmt::Display for LpError {
                 write!(f, "non-finite coefficient at {location}")
             }
             LpError::Empty => write!(f, "linear program has no variables"),
+            LpError::SingularBasis => {
+                write!(f, "basis matrix is singular at the working tolerance")
+            }
         }
     }
 }

@@ -7,12 +7,21 @@
 //! role for the reproduction.
 //!
 //! The instances of interest are small and dense (`2p` variables, `3p + 1`
-//! constraints for `p` workers), so a dense tableau simplex is the right
-//! tool. Two backends share the same pivoting code through the [`Scalar`]
-//! trait:
+//! constraints for `p` workers). Two solver *engines* share the same
+//! standardization and column layout:
 //!
-//! * **`f64`** — the fast default, with explicit tolerances and a
-//!   Dantzig-then-Bland pivot rule for anti-cycling;
+//! * the **dense tableau** ([`solve`], [`solve_with`]) — two-phase primal
+//!   simplex, the fastest cold solver on these LPs;
+//! * the **revised simplex** ([`solve_revised`], [`solve_revised_with`]) —
+//!   eta-file product-form basis inverse with periodic refactorization and
+//!   **warm starts** from a caller-supplied [`Basis`]; the [`BasisCache`]
+//!   amortizes families of related instances (the sweeps' access pattern).
+//!
+//! Both are generic over the [`Scalar`] backend:
+//!
+//! * **`f64`** — the fast default, with *relative* tolerances (scaled by
+//!   [`Problem::coefficient_scale`]) and a Dantzig-then-Bland pivot rule
+//!   for anti-cycling;
 //! * **[`Rational`]** — exact `i128` rationals, used by the test-suite to
 //!   certify the floating-point answers on small instances.
 //!
@@ -37,11 +46,13 @@
 mod error;
 mod problem;
 mod rational;
+mod revised;
 mod scalar;
 mod simplex;
 
 pub use error::LpError;
 pub use problem::{Constraint, Problem, Relation, Sense, VarId};
 pub use rational::Rational;
+pub use revised::{solve_revised, solve_revised_with, Basis, BasisCache, RevisedSolution};
 pub use scalar::Scalar;
 pub use simplex::{solve, solve_exact, solve_with, Solution, SolverOptions};

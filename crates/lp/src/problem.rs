@@ -193,6 +193,28 @@ impl Problem {
             .collect()
     }
 
+    /// Largest coefficient magnitude across the objective, constraint
+    /// matrix and right-hand sides, floored at 1.
+    ///
+    /// The solvers scale their comparison tolerances by this value so that
+    /// optimality and feasibility tests are *relative*: an instance with
+    /// costs in the `1e6` range is not judged against the same absolute
+    /// epsilon as one with costs in the units range (which could declare
+    /// optimality one pivot early or report spurious infeasibility).
+    pub fn coefficient_scale(&self) -> f64 {
+        let mut scale = 1.0f64;
+        for &c in &self.objective {
+            scale = scale.max(c.abs());
+        }
+        for con in &self.constraints {
+            scale = scale.max(con.rhs.abs());
+            for &(_, c) in &con.coeffs {
+                scale = scale.max(c.abs());
+            }
+        }
+        scale
+    }
+
     /// Evaluates the objective at a point (panics if dimensions mismatch).
     pub fn eval_objective(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.objective.len(), "dimension mismatch");
@@ -366,6 +388,19 @@ mod tests {
         assert!(lp.contains("balance: +1 alpha_P1 -1 x_P2 = 0"));
         assert!(lp.contains("floor: +1 x_P2 >= 0.25"));
         assert!(lp.trim_end().ends_with("End"));
+    }
+
+    #[test]
+    fn coefficient_scale_tracks_largest_magnitude() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", -3.0);
+        p.add_constraint("c", [(x, 2.0e6)], Relation::Le, 7.0);
+        assert_eq!(p.coefficient_scale(), 2.0e6);
+        // Floored at 1 for small instances.
+        let mut q = Problem::maximize();
+        let y = q.add_var("y", 0.25);
+        q.add_constraint("c", [(y, 0.5)], Relation::Le, 0.125);
+        assert_eq!(q.coefficient_scale(), 1.0);
     }
 
     #[test]

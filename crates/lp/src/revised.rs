@@ -1,0 +1,1108 @@
+//! Revised simplex with a product-form basis inverse and warm starts.
+//!
+//! The dense tableau in [`crate::simplex`] rewrites the whole `m x n`
+//! matrix on every pivot. This module keeps the constraint columns
+//! *immutable* and maintains only a representation of `B^-1`:
+//!
+//! * **Product form / eta file.** After a refactorization the inverse is a
+//!   dense `m x m` matrix `B0^-1`; every subsequent pivot appends one eta
+//!   vector (the pivot column in the current basis frame). `FTRAN` applies
+//!   `B0^-1` then the etas in order; `BTRAN` applies the eta transposes in
+//!   reverse and then `B0^-1`.
+//! * **Periodic refactorization.** When the eta file reaches
+//!   [`crate::SolverOptions::refactor_every`] entries, `B^-1` is rebuilt
+//!   from the basis columns by Gauss-Jordan elimination with partial
+//!   pivoting, which both bounds the per-iteration cost and flushes
+//!   accumulated floating-point drift. A final refactorization before
+//!   extraction makes the reported point as accurate as a from-scratch
+//!   solve.
+//! * **Warm starts.** [`solve_revised_with`] accepts a caller-supplied
+//!   [`Basis`] (in the standardized column indexing shared with the
+//!   tableau). If the basis factorizes and is primal feasible, phase 1 is
+//!   skipped entirely and phase 2 starts from it; otherwise the solver
+//!   silently falls back to the cold slack/artificial start. The
+//!   [`BasisCache`] packages the bookkeeping for families of related
+//!   instances (the divisible-load sweeps solve thousands of LPs that
+//!   differ only in a permutation or a speed factor).
+//!
+//! The solver is generic over [`Scalar`], so the exact rational backend can
+//! certify the floating-point path, and shares standardization and column
+//! layout with the tableau — a [`Basis`] is portable between the two
+//! engines.
+
+use std::collections::HashMap;
+
+use crate::error::LpError;
+use crate::problem::{Problem, Relation};
+use crate::scalar::Scalar;
+use crate::simplex::{column_layout, standardize, ColumnLayout, Solution, SolverOptions, StdRow};
+
+/// A simplex basis: one standardized column index per constraint row.
+///
+/// Column indices follow the layout shared by both solver engines:
+/// structural variables first, then logicals (slack/surplus), then
+/// artificials. A basis returned by one solve can warm-start any instance
+/// with the same standardized shape (`num_rows` rows, `num_cols` columns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    cols: Vec<usize>,
+    num_cols: usize,
+}
+
+impl Basis {
+    /// The basic column index of each row.
+    pub fn columns(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Number of constraint rows this basis was taken from.
+    pub fn num_rows(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Total standardized column count of the originating instance.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// `true` when this basis is dimension-compatible with an instance of
+    /// `rows` rows and `cols` standardized columns.
+    fn fits(&self, rows: usize, cols: usize) -> bool {
+        self.cols.len() == rows && self.num_cols == cols
+    }
+}
+
+/// Result of a revised-simplex solve: the solution plus the optimal basis
+/// (for reuse) and whether a warm start was actually used.
+#[derive(Debug, Clone)]
+pub struct RevisedSolution<S> {
+    /// The optimal point, objective, duals and pivot count.
+    pub solution: Solution<S>,
+    /// The optimal basis, suitable for warm-starting related instances.
+    pub basis: Basis,
+    /// `true` when the caller-supplied basis was accepted (factorized and
+    /// primal feasible), skipping phase 1.
+    pub warm_started: bool,
+}
+
+/// Keyed store of optimal bases with hit/miss accounting.
+///
+/// Keys are caller-chosen (e.g. a platform fingerprint); a cached basis is
+/// only offered to instances whose standardized dimensions match, and a
+/// *hit* is recorded only when the solver actually accepted the warm basis.
+#[derive(Debug, Default)]
+pub struct BasisCache {
+    entries: HashMap<u64, Basis>,
+    hits: usize,
+    misses: usize,
+}
+
+impl BasisCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached basis for `key`, if any.
+    pub fn get(&self, key: u64) -> Option<&Basis> {
+        self.entries.get(&key)
+    }
+
+    /// Stores (or replaces) the basis for `key`.
+    pub fn store(&mut self, key: u64, basis: Basis) {
+        self.entries.insert(key, basis);
+    }
+
+    /// Number of solves that accepted a cached basis.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Number of solves that started cold (no entry, dimension mismatch, or
+    /// rejected warm basis).
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Number of cached bases.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no basis is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Solves `problem`, warm-starting from the basis cached under `key`
+    /// when possible, and caches the optimal basis back under `key`.
+    ///
+    /// A *numerical* failure (iteration limit, singular refactorization)
+    /// evicts the key — a basis that led the solver astray must not be
+    /// replayed by every later solve of the family. `Infeasible`/`Unbounded`
+    /// are legitimate answers about the instance, not the basis, and leave
+    /// the cache untouched.
+    pub fn solve<S: Scalar>(
+        &mut self,
+        key: u64,
+        problem: &Problem,
+        opts: &SolverOptions,
+    ) -> Result<RevisedSolution<S>, LpError> {
+        let warm = self.entries.get(&key);
+        let res = match solve_revised_with::<S>(problem, opts, warm) {
+            Ok(res) => res,
+            Err(e) => {
+                if matches!(e, LpError::IterationLimit { .. } | LpError::SingularBasis) {
+                    self.entries.remove(&key);
+                }
+                return Err(e);
+            }
+        };
+        if res.warm_started {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        self.entries.insert(key, res.basis.clone());
+        Ok(res)
+    }
+}
+
+/// Solves `problem` with default options on the `f64` backend, cold start.
+pub fn solve_revised(problem: &Problem) -> Result<Solution<f64>, LpError> {
+    solve_revised_with::<f64>(
+        problem,
+        &SolverOptions::for_size(problem.num_vars(), problem.num_constraints()),
+        None,
+    )
+    .map(|r| r.solution)
+}
+
+/// The standardized instance in column-major form, immutable during the
+/// solve.
+struct Columns<S> {
+    /// `cols` dense columns of `m` entries each.
+    a: Vec<Vec<S>>,
+    /// Nonzero row indices per column — the scheduling LPs are far from
+    /// fully dense (idle and logical columns touch one row), and pricing
+    /// and `FTRAN` iterate only the support.
+    support: Vec<Vec<usize>>,
+    /// Non-negative right-hand side.
+    b: Vec<S>,
+    m: usize,
+}
+
+impl<S: Scalar> Columns<S> {
+    fn build(n: usize, rows: &[StdRow<S>], layout: &ColumnLayout) -> Self {
+        let m = rows.len();
+        let mut a: Vec<Vec<S>> = (0..layout.cols).map(|_| vec![S::zero(); m]).collect();
+        for (i, row) in rows.iter().enumerate() {
+            for (j, v) in row.coeffs.iter().enumerate().take(n) {
+                a[j][i] = v.clone();
+            }
+            match row.relation {
+                Relation::Le => a[layout.logical_col[i]][i] = S::one(),
+                Relation::Ge => {
+                    a[layout.logical_col[i]][i] = -S::one();
+                    a[layout.artificial_col[i]][i] = S::one();
+                }
+                Relation::Eq => a[layout.artificial_col[i]][i] = S::one(),
+            }
+        }
+        let b = rows.iter().map(|r| r.rhs.clone()).collect();
+        let support = a
+            .iter()
+            .map(|col| (0..m).filter(|&r| !col[r].is_zero()).collect())
+            .collect();
+        Columns { a, support, b, m }
+    }
+}
+
+/// Product-form representation of the basis inverse.
+struct Factor<S> {
+    /// Dense inverse of the basis at the last refactorization, row-major
+    /// `m x m`.
+    binv: Vec<S>,
+    /// Eta file: `(pivot row, pivot column in the then-current basis
+    /// frame)` per pivot since the last refactorization.
+    etas: Vec<(usize, Vec<S>)>,
+    m: usize,
+}
+
+impl<S: Scalar> Factor<S> {
+    /// Builds `B^-1` from the basis columns via Gauss-Jordan with partial
+    /// pivoting. Returns `None` when the basis matrix is singular.
+    ///
+    /// Singularity is judged *per column*, relative to that column's own
+    /// largest original magnitude: a column whose entries are legitimately
+    /// tiny (a `1e-4` coefficient on a `1e6`-scaled instance) still
+    /// factorizes, while a dependent column — whose post-elimination
+    /// residual is noise relative to its original entries — is rejected.
+    fn refactorize(cols: &Columns<S>, basis: &[usize]) -> Option<Factor<S>> {
+        let m = cols.m;
+        // Augmented [B | I], eliminated in place.
+        let mut b = vec![S::zero(); m * m];
+        let mut inv = vec![S::zero(); m * m];
+        for (r, row) in inv.chunks_mut(m).enumerate() {
+            row[r] = S::one();
+        }
+        let mut col_tol = vec![S::zero(); m];
+        for (k, &c) in basis.iter().enumerate() {
+            let mut col_max = S::zero();
+            for r in 0..m {
+                let v = cols.a[c][r].clone();
+                if v.abs() > col_max {
+                    col_max = v.abs();
+                }
+                b[r * m + k] = v;
+            }
+            col_tol[k] = S::tolerance() * col_max;
+        }
+        for k in 0..m {
+            // Partial pivoting: largest magnitude in column k at/below row k.
+            let mut pr = k;
+            let mut best = b[k * m + k].abs();
+            for r in (k + 1)..m {
+                let mag = b[r * m + k].abs();
+                if mag > best {
+                    best = mag;
+                    pr = r;
+                }
+            }
+            // Exact backends have col_tol = 0: only an exact zero column is
+            // singular there.
+            if best <= col_tol[k] || best.is_zero() {
+                return None; // singular basis
+            }
+            if pr != k {
+                for c in 0..m {
+                    b.swap(pr * m + c, k * m + c);
+                    inv.swap(pr * m + c, k * m + c);
+                }
+            }
+            let piv_inv = S::one() / b[k * m + k].clone();
+            for c in 0..m {
+                b[k * m + c] = b[k * m + c].clone() * piv_inv.clone();
+                inv[k * m + c] = inv[k * m + c].clone() * piv_inv.clone();
+            }
+            for r in 0..m {
+                if r == k {
+                    continue;
+                }
+                let f = b[r * m + k].clone();
+                if f.is_zero() {
+                    continue;
+                }
+                for c in 0..m {
+                    b[r * m + c] = b[r * m + c].clone() - f.clone() * b[k * m + c].clone();
+                    inv[r * m + c] = inv[r * m + c].clone() - f.clone() * inv[k * m + c].clone();
+                }
+            }
+        }
+        Some(Factor {
+            binv: inv,
+            etas: Vec::new(),
+            m,
+        })
+    }
+
+    /// Applies the eta file (in chronological order) to `out`.
+    fn apply_etas(&self, out: &mut [S]) {
+        for (pr, w) in &self.etas {
+            let t = out[*pr].clone() / w[*pr].clone();
+            for (i, wi) in w.iter().enumerate() {
+                if i == *pr {
+                    continue;
+                }
+                if !wi.is_zero() {
+                    out[i] = out[i].clone() - wi.clone() * t.clone();
+                }
+            }
+            out[*pr] = t;
+        }
+    }
+
+    /// `FTRAN`: computes `B^-1 v` for a dense `v`.
+    fn ftran(&self, v: &[S]) -> Vec<S> {
+        let m = self.m;
+        let mut out = vec![S::zero(); m];
+        for (c, vc) in v.iter().enumerate() {
+            if !vc.is_zero() {
+                for (r, o) in out.iter_mut().enumerate() {
+                    *o = o.clone() + self.binv[r * m + c].clone() * vc.clone();
+                }
+            }
+        }
+        self.apply_etas(&mut out);
+        out
+    }
+
+    /// `FTRAN` of a column with known support (only those entries of `v`
+    /// are read).
+    fn ftran_sparse(&self, v: &[S], support: &[usize]) -> Vec<S> {
+        let m = self.m;
+        let mut out = vec![S::zero(); m];
+        for &c in support {
+            let vc = &v[c];
+            for (r, o) in out.iter_mut().enumerate() {
+                *o = o.clone() + self.binv[r * m + c].clone() * vc.clone();
+            }
+        }
+        self.apply_etas(&mut out);
+        out
+    }
+
+    /// `BTRAN`: computes `c^T B^-1` (as a column vector).
+    fn btran(&self, c: &[S]) -> Vec<S> {
+        let m = self.m;
+        let mut y: Vec<S> = c.to_vec();
+        for (pr, w) in self.etas.iter().rev() {
+            // y <- y E^-1: only component pr changes.
+            let mut acc = y[*pr].clone();
+            for (i, wi) in w.iter().enumerate() {
+                if i != *pr && !y[i].is_zero() && !wi.is_zero() {
+                    acc = acc - y[i].clone() * wi.clone();
+                }
+            }
+            y[*pr] = acc / w[*pr].clone();
+        }
+        let mut out = vec![S::zero(); m];
+        for (r, yr) in y.iter().enumerate() {
+            if !yr.is_zero() {
+                let row = &self.binv[r * m..(r + 1) * m];
+                for (o, br) in out.iter_mut().zip(row) {
+                    *o = o.clone() + yr.clone() * br.clone();
+                }
+            }
+        }
+        out
+    }
+
+    /// Appends the eta of a pivot on `(pr, w)` where `w = FTRAN(a_entering)`.
+    fn push_eta(&mut self, pr: usize, w: Vec<S>) {
+        self.etas.push((pr, w));
+    }
+}
+
+/// Internal solver state for one (phase-agnostic) pivot loop.
+struct State<S> {
+    cols: Columns<S>,
+    layout: ColumnLayout,
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    factor: Factor<S>,
+    /// Current basic values `x_B = B^-1 b` (kept incrementally, rebuilt on
+    /// refactorization).
+    xb: Vec<S>,
+    tol: S,
+    iterations: usize,
+}
+
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+}
+
+impl<S: Scalar> State<S> {
+    fn refactorize(&mut self) -> Result<(), LpError> {
+        let f = Factor::refactorize(&self.cols, &self.basis).ok_or(LpError::SingularBasis)?;
+        self.factor = f;
+        self.xb = self.factor.ftran(&self.cols.b);
+        self.clamp_xb();
+        Ok(())
+    }
+
+    /// Absorbs sub-tolerance negative noise in the basic values.
+    fn clamp_xb(&mut self) {
+        let two_tol = self.tol.clone() + self.tol.clone();
+        for v in &mut self.xb {
+            if *v < S::zero() && v.abs() <= two_tol {
+                *v = S::zero();
+            }
+        }
+    }
+
+    /// Runs one simplex phase: prices with `costs`, enters columns passing
+    /// `enterable`, pivots until optimal/unbounded or the iteration cap.
+    fn run_phase(
+        &mut self,
+        costs: &[S],
+        opts: &SolverOptions,
+        enterable: impl Fn(usize) -> bool,
+    ) -> Result<PhaseOutcome, LpError> {
+        let start = self.iterations;
+        loop {
+            if self.iterations >= opts.max_iterations {
+                return Err(LpError::IterationLimit {
+                    iterations: self.iterations,
+                });
+            }
+            let use_bland = self.iterations - start >= opts.bland_after;
+
+            // Price: y = c_B^T B^-1, then d_j = c_j - y . a_j.
+            let cb: Vec<S> = self.basis.iter().map(|&c| costs[c].clone()).collect();
+            let y = self.factor.btran(&cb);
+            let mut entering: Option<(usize, S)> = None;
+            #[allow(clippy::needless_range_loop)] // indexes 4 parallel arrays
+            for c in 0..self.layout.cols {
+                if self.in_basis[c] || !enterable(c) {
+                    continue;
+                }
+                let mut d = costs[c].clone();
+                for &r in &self.cols.support[c] {
+                    let yv = &y[r];
+                    if !yv.is_zero() {
+                        d = d - yv.clone() * self.cols.a[c][r].clone();
+                    }
+                }
+                if d > self.tol {
+                    match (&entering, use_bland) {
+                        (_, true) => {
+                            entering = Some((c, d));
+                            break; // Bland: first improving index
+                        }
+                        (None, false) => entering = Some((c, d)),
+                        (Some((_, best)), false) if d > *best => entering = Some((c, d)),
+                        _ => {}
+                    }
+                }
+            }
+            let Some((pc, _)) = entering else {
+                return Ok(PhaseOutcome::Optimal);
+            };
+
+            // FTRAN the entering column and run the ratio test.
+            let w = self
+                .factor
+                .ftran_sparse(&self.cols.a[pc], &self.cols.support[pc]);
+            // Ratio test. `w` lives in the normalized basis frame (O(1)
+            // entries), so eligibility uses the backend's *base* tolerance;
+            // the instance-scaled tolerance would skip genuine small pivots
+            // on mixed-scale instances and misreport Unbounded.
+            let mut leaving: Option<(usize, S)> = None;
+            for (r, wr) in w.iter().enumerate() {
+                if !wr.is_positive() {
+                    continue;
+                }
+                let ratio = self.xb[r].clone() / wr.clone();
+                let better = match &leaving {
+                    None => true,
+                    Some((lr, lv)) => {
+                        ratio < *lv || (ratio <= *lv && self.basis[r] < self.basis[*lr])
+                    }
+                };
+                if better {
+                    leaving = Some((r, ratio));
+                }
+            }
+            let Some((pr, theta)) = leaving else {
+                return Ok(PhaseOutcome::Unbounded);
+            };
+
+            // Update basic values: x_B -= theta * w, entering takes theta.
+            for (r, wr) in w.iter().enumerate() {
+                if r != pr && !wr.is_zero() {
+                    self.xb[r] = self.xb[r].clone() - theta.clone() * wr.clone();
+                }
+            }
+            self.xb[pr] = theta;
+            self.clamp_xb();
+
+            self.in_basis[self.basis[pr]] = false;
+            self.in_basis[pc] = true;
+            self.basis[pr] = pc;
+            self.factor.push_eta(pr, w);
+            self.iterations += 1;
+
+            if self.factor.etas.len() >= opts.refactor_every.max(1) {
+                self.refactorize()?;
+            }
+        }
+    }
+
+    /// Drives residual basic artificials out after phase 1 (degenerate
+    /// pivots); redundant rows keep their inert artificial, exactly like the
+    /// tableau engine.
+    fn drive_out_artificials(&mut self) -> Result<(), LpError> {
+        for r in 0..self.cols.m {
+            if !self.layout.is_artificial(self.basis[r]) {
+                continue;
+            }
+            // Row r of B^-1 A: e_r^T B^-1 then dot with every column.
+            let mut e = vec![S::zero(); self.cols.m];
+            e[r] = S::one();
+            let rho = self.factor.btran(&e);
+            let candidate = (0..self.layout.cols).find(|&c| {
+                if self.in_basis[c] || self.layout.is_artificial(c) {
+                    return false;
+                }
+                let mut v = S::zero();
+                for &i in &self.cols.support[c] {
+                    if !rho[i].is_zero() {
+                        v = v + rho[i].clone() * self.cols.a[c][i].clone();
+                    }
+                }
+                !v.is_zero()
+            });
+            if let Some(pc) = candidate {
+                let w = self
+                    .factor
+                    .ftran_sparse(&self.cols.a[pc], &self.cols.support[pc]);
+                let theta = self.xb[r].clone() / w[r].clone();
+                for (i, wi) in w.iter().enumerate() {
+                    if i != r && !wi.is_zero() {
+                        self.xb[i] = self.xb[i].clone() - theta.clone() * wi.clone();
+                    }
+                }
+                self.xb[r] = theta;
+                self.clamp_xb();
+                self.in_basis[self.basis[r]] = false;
+                self.in_basis[pc] = true;
+                self.basis[r] = pc;
+                self.factor.push_eta(r, w);
+                self.iterations += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Solves `problem` with the revised simplex on backend `S`, optionally
+/// warm-starting from `warm`.
+///
+/// The warm basis is accepted only when it is dimension-compatible,
+/// factorizes, and yields a primal-feasible point with every artificial at
+/// zero; otherwise the solver falls back to the cold two-phase start (the
+/// result then has `warm_started == false`).
+pub fn solve_revised_with<S: Scalar>(
+    problem: &Problem,
+    opts: &SolverOptions,
+    warm: Option<&Basis>,
+) -> Result<RevisedSolution<S>, LpError> {
+    problem.validate()?;
+    let n = problem.num_vars();
+    let std_form = standardize::<S>(problem);
+    let m = std_form.rows.len();
+    let tol = S::tolerance() * S::from_f64(problem.coefficient_scale());
+    let relations: Vec<Relation> = std_form.rows.iter().map(|r| r.relation).collect();
+    let layout = column_layout(n, &relations);
+    let cols = Columns::build(n, &std_form.rows, &layout);
+    let num_cols = layout.cols;
+
+    // Phase-2 costs over the standardized columns.
+    let mut p2_costs = vec![S::zero(); num_cols];
+    p2_costs[..n].clone_from_slice(&std_form.costs);
+
+    // ---- Try the warm start: vet the basis before committing any state,
+    // so both branches below assemble the State from the same (single)
+    // standardization.
+    let mut warm_parts: Option<(Vec<usize>, Factor<S>, Vec<S>)> = None;
+    if let Some(wb) = warm {
+        if wb.fits(m, num_cols) && is_valid_basis_set(&wb.cols, num_cols) {
+            if let Some(factor) = Factor::refactorize(&cols, &wb.cols) {
+                let xb = factor.ftran(&cols.b);
+                let feasible = xb.iter().enumerate().all(|(r, v)| {
+                    let nonneg = *v >= -(tol.clone() + tol.clone());
+                    // A basic artificial above tolerance means the point
+                    // violates the original constraints.
+                    let art_ok = !layout.is_artificial(wb.cols[r]) || v.abs() <= tol;
+                    nonneg && art_ok
+                });
+                if feasible {
+                    warm_parts = Some((wb.cols.clone(), factor, xb));
+                }
+            }
+        }
+    }
+    let warm_started = warm_parts.is_some();
+
+    let mut state = match warm_parts {
+        Some((basis, factor, xb)) => {
+            let mut in_basis = vec![false; num_cols];
+            for &c in &basis {
+                in_basis[c] = true;
+            }
+            let mut s = State {
+                cols,
+                layout,
+                basis,
+                in_basis,
+                factor,
+                xb,
+                tol: tol.clone(),
+                iterations: 0,
+            };
+            s.clamp_xb();
+            // A warm basis can carry an inert basic artificial (a redundant
+            // row in the donor instance). If that row is live here, phase 2
+            // could re-grow the artificial through a pivot with a negative
+            // entry in its row — drive it out with a degenerate pivot now,
+            // exactly as the cold path does after phase 1 (a genuinely
+            // redundant row stays inert and is harmless).
+            if s.basis.iter().any(|&c| s.layout.is_artificial(c)) {
+                s.drive_out_artificials()?;
+            }
+            s
+        }
+        // ---- Cold start: slack/artificial identity basis (+ phase 1 if
+        // needed).
+        None => {
+            let mut basis = Vec::with_capacity(m);
+            for (i, row) in std_form.rows.iter().enumerate() {
+                basis.push(match row.relation {
+                    Relation::Le => layout.logical_col[i],
+                    Relation::Ge | Relation::Eq => layout.artificial_col[i],
+                });
+            }
+            let mut in_basis = vec![false; layout.cols];
+            for &c in &basis {
+                in_basis[c] = true;
+            }
+            // The initial basis is an identity matrix: B^-1 = I.
+            let mut binv = vec![S::zero(); m * m];
+            for (r, row) in binv.chunks_mut(m).enumerate() {
+                row[r] = S::one();
+            }
+            let factor = Factor {
+                binv,
+                etas: Vec::new(),
+                m,
+            };
+            let xb = cols.b.clone();
+            let mut s = State {
+                cols,
+                layout,
+                basis,
+                in_basis,
+                factor,
+                xb,
+                tol: tol.clone(),
+                iterations: 0,
+            };
+
+            // Phase 1 only when artificials exist.
+            let has_artificials = (0..s.layout.cols).any(|c| s.layout.is_artificial(c));
+            if has_artificials {
+                let mut p1_costs = vec![S::zero(); s.layout.cols];
+                for (c, p1c) in p1_costs.iter_mut().enumerate() {
+                    if s.layout.is_artificial(c) {
+                        *p1c = -S::one();
+                    }
+                }
+                match s.run_phase(&p1_costs, opts, |_| true)? {
+                    PhaseOutcome::Optimal => {}
+                    // Phase-1 objective is bounded above by 0; an unbounded
+                    // report can only be numerical noise.
+                    PhaseOutcome::Unbounded => return Err(LpError::SingularBasis),
+                }
+                // Infeasible iff some artificial remains positive: the
+                // phase-1 objective is -sum of basic artificial values.
+                let mut infeas = S::zero();
+                for (r, &c) in s.basis.iter().enumerate() {
+                    if s.layout.is_artificial(c) {
+                        infeas = infeas + s.xb[r].clone();
+                    }
+                }
+                let infeas_tol = tol.clone() * S::from_f64(m.max(1) as f64);
+                if infeas > infeas_tol {
+                    return Err(LpError::Infeasible);
+                }
+                s.drive_out_artificials()?;
+            }
+            s
+        }
+    };
+
+    // ---- Phase 2 from the (warm or phase-1) feasible basis.
+    let layout_artificial: Vec<bool> = (0..state.layout.cols)
+        .map(|c| state.layout.is_artificial(c))
+        .collect();
+    match state.run_phase(&p2_costs, opts, |c| !layout_artificial[c])? {
+        PhaseOutcome::Optimal => {}
+        PhaseOutcome::Unbounded => return Err(LpError::Unbounded),
+    }
+
+    // ---- Final refactorization: flush eta-file drift before extraction.
+    if !state.factor.etas.is_empty() {
+        state.refactorize()?;
+    }
+
+    // ---- Extract primal point, objective, duals.
+    let mut x = vec![S::zero(); n];
+    for (r, &c) in state.basis.iter().enumerate() {
+        if c < n {
+            x[c] = state.xb[r].clone();
+        }
+    }
+    let mut obj = S::zero();
+    for (c, xv) in std_form.costs.iter().zip(&x) {
+        obj = obj + c.clone() * xv.clone();
+    }
+    if std_form.negated {
+        obj = -obj;
+    }
+
+    let cb: Vec<S> = state.basis.iter().map(|&c| p2_costs[c].clone()).collect();
+    let y = state.factor.btran(&cb);
+    let mut duals = Vec::with_capacity(m);
+    for (i, row) in std_form.rows.iter().enumerate() {
+        let mut d = y[i].clone();
+        if row.flipped {
+            d = -d;
+        }
+        if std_form.negated {
+            d = -d;
+        }
+        duals.push(d);
+    }
+
+    Ok(RevisedSolution {
+        solution: Solution {
+            objective: obj,
+            x,
+            duals,
+            iterations: state.iterations,
+        },
+        basis: Basis {
+            cols: state.basis,
+            num_cols,
+        },
+        warm_started,
+    })
+}
+
+/// `true` when `basis` is a plausible basis index set: right length is the
+/// caller's job, here we check range and distinctness.
+fn is_valid_basis_set(basis: &[usize], num_cols: usize) -> bool {
+    let mut seen = vec![false; num_cols];
+    basis.iter().all(|&c| {
+        if c >= num_cols || seen[c] {
+            return false;
+        }
+        seen[c] = true;
+        true
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Relation};
+    use crate::rational::Rational;
+    use crate::simplex::solve;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "expected {b}, got {a}");
+    }
+
+    fn opts_for(p: &Problem) -> SolverOptions {
+        SolverOptions::for_size(p.num_vars(), p.num_constraints())
+    }
+
+    fn textbook() -> Problem {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> z = 36 at (2,6)
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 3.0);
+        let y = p.add_var("y", 5.0);
+        p.add_constraint("c1", [(x, 1.0)], Relation::Le, 4.0);
+        p.add_constraint("c2", [(y, 2.0)], Relation::Le, 12.0);
+        p.add_constraint("c3", [(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        p
+    }
+
+    #[test]
+    fn textbook_matches_tableau() {
+        let p = textbook();
+        let s = solve_revised(&p).unwrap();
+        assert_close(s.objective, 36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+        // Duals agree with the tableau engine.
+        let t = solve(&p).unwrap();
+        for (a, b) in s.duals.iter().zip(&t.duals) {
+            assert_close(*a, *b);
+        }
+    }
+
+    #[test]
+    fn exact_backend_agrees() {
+        let p = textbook();
+        let s = solve_revised_with::<Rational>(&p, &opts_for(&p), None).unwrap();
+        assert_eq!(s.solution.objective, Rational::from_int(36));
+        assert_eq!(s.solution.x[0], Rational::from_int(2));
+        assert_eq!(s.solution.x[1], Rational::from_int(6));
+    }
+
+    #[test]
+    fn two_phase_with_ge_and_eq_rows() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2 -> z = 20 at (10, 0).
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 2.0);
+        let y = p.add_var("y", 3.0);
+        p.add_constraint("demand", [(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+        p.add_constraint("xmin", [(x, 1.0)], Relation::Ge, 2.0);
+        let s = solve_revised(&p).unwrap();
+        assert_close(s.objective, 20.0);
+        assert_close(s.x[0], 10.0);
+
+        // max x + y s.t. x + y == 5, x - y == 1 -> (3, 2).
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 1.0);
+        p.add_constraint("sum", [(x, 1.0), (y, 1.0)], Relation::Eq, 5.0);
+        p.add_constraint("diff", [(x, 1.0), (y, -1.0)], Relation::Eq, 1.0);
+        let s = solve_revised(&p).unwrap();
+        assert_close(s.objective, 5.0);
+        assert_close(s.x[0], 3.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn infeasible_and_unbounded_detected() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 1.0);
+        p.add_constraint("lo", [(x, 1.0)], Relation::Ge, 5.0);
+        p.add_constraint("hi", [(x, 1.0)], Relation::Le, 3.0);
+        assert_eq!(solve_revised(&p).unwrap_err(), LpError::Infeasible);
+
+        let mut p = Problem::maximize();
+        let _x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 0.0);
+        p.add_constraint("only-y", [(y, 1.0)], Relation::Le, 3.0);
+        assert_eq!(solve_revised(&p).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn redundant_equalities_are_tolerated() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 1.0);
+        p.add_constraint("e1", [(x, 1.0), (y, 1.0)], Relation::Eq, 4.0);
+        p.add_constraint("e2", [(x, 2.0), (y, 2.0)], Relation::Eq, 8.0);
+        let s = solve_revised(&p).unwrap();
+        assert_close(s.objective, 4.0);
+    }
+
+    #[test]
+    fn beale_cycling_example_terminates() {
+        // Beale (1955): cycles under pure Dantzig without anti-cycling.
+        let mut p = Problem::minimize();
+        let a = p.add_var("a", -0.75);
+        let b = p.add_var("b", 150.0);
+        let c = p.add_var("c", -0.02);
+        let d = p.add_var("d", 6.0);
+        p.add_constraint(
+            "r1",
+            [(a, 0.25), (b, -60.0), (c, -0.04), (d, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        p.add_constraint(
+            "r2",
+            [(a, 0.5), (b, -90.0), (c, -0.02), (d, 3.0)],
+            Relation::Le,
+            0.0,
+        );
+        p.add_constraint("r3", [(c, 1.0)], Relation::Le, 1.0);
+        let s = solve_revised(&p).unwrap();
+        assert_close(s.objective, -0.05);
+    }
+
+    #[test]
+    fn frequent_refactorization_is_stable() {
+        // refactor_every = 1 exercises the rebuild path on every pivot.
+        let p = textbook();
+        let mut opts = opts_for(&p);
+        opts.refactor_every = 1;
+        let s = solve_revised_with::<f64>(&p, &opts, None).unwrap();
+        assert_close(s.solution.objective, 36.0);
+    }
+
+    #[test]
+    fn warm_start_from_own_optimum_takes_zero_pivots() {
+        let p = textbook();
+        let opts = opts_for(&p);
+        let cold = solve_revised_with::<f64>(&p, &opts, None).unwrap();
+        assert!(!cold.warm_started);
+        assert!(cold.solution.iterations > 0);
+        let warm = solve_revised_with::<f64>(&p, &opts, Some(&cold.basis)).unwrap();
+        assert!(warm.warm_started);
+        assert_eq!(warm.solution.iterations, 0);
+        assert_close(warm.solution.objective, 36.0);
+    }
+
+    #[test]
+    fn warm_start_across_perturbed_instances() {
+        // Perturb the rhs: the optimal basis usually survives, and the
+        // solve must still be correct either way.
+        let p = textbook();
+        let opts = opts_for(&p);
+        let cold = solve_revised_with::<f64>(&p, &opts, None).unwrap();
+
+        let mut q = Problem::maximize();
+        let x = q.add_var("x", 3.0);
+        let y = q.add_var("y", 5.0);
+        q.add_constraint("c1", [(x, 1.0)], Relation::Le, 4.5);
+        q.add_constraint("c2", [(y, 2.0)], Relation::Le, 12.5);
+        q.add_constraint("c3", [(x, 3.0), (y, 2.0)], Relation::Le, 18.5);
+        let warm = solve_revised_with::<f64>(&q, &opts, Some(&cold.basis)).unwrap();
+        let fresh = solve_revised_with::<f64>(&q, &opts, None).unwrap();
+        assert_close(warm.solution.objective, fresh.solution.objective);
+        assert!(warm.solution.iterations <= fresh.solution.iterations);
+    }
+
+    #[test]
+    fn mismatched_warm_basis_falls_back_to_cold() {
+        let p = textbook();
+        let opts = opts_for(&p);
+        // A basis from a different-shaped problem is ignored.
+        let bogus = Basis {
+            cols: vec![0, 1],
+            num_cols: 3,
+        };
+        let s = solve_revised_with::<f64>(&p, &opts, Some(&bogus)).unwrap();
+        assert!(!s.warm_started);
+        assert_close(s.solution.objective, 36.0);
+        // A right-shaped but singular basis also falls back.
+        let singular = Basis {
+            cols: vec![2, 2, 3],
+            num_cols: 5,
+        };
+        let s = solve_revised_with::<f64>(&p, &opts, Some(&singular)).unwrap();
+        assert!(!s.warm_started);
+        assert_close(s.solution.objective, 36.0);
+    }
+
+    #[test]
+    fn basis_cache_counts_hits_and_misses() {
+        let p = textbook();
+        let opts = opts_for(&p);
+        let mut cache = BasisCache::new();
+        let first = cache.solve::<f64>(7, &p, &opts).unwrap();
+        assert!(!first.warm_started);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let second = cache.solve::<f64>(7, &p, &opts).unwrap();
+        assert!(second.warm_started);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+        // A different key starts cold again.
+        let third = cache.solve::<f64>(8, &p, &opts).unwrap();
+        assert!(!third.warm_started);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn failed_solve_evicts_the_cached_basis() {
+        let p = textbook();
+        let opts = opts_for(&p);
+        let mut cache = BasisCache::new();
+        cache.solve::<f64>(5, &p, &opts).unwrap();
+        assert_eq!(cache.len(), 1);
+        // max_iterations = 0 fails even a warm re-solve; the basis that
+        // presided over the failure must not be replayed next time.
+        let strict = SolverOptions {
+            max_iterations: 0,
+            bland_after: 0,
+            refactor_every: 48,
+        };
+        assert!(matches!(
+            cache.solve::<f64>(5, &p, &strict),
+            Err(LpError::IterationLimit { .. })
+        ));
+        assert_eq!(cache.len(), 0, "failed solve must evict the key");
+        // The family recovers with a cold start on the next solve.
+        let again = cache.solve::<f64>(5, &p, &opts).unwrap();
+        assert!(!again.warm_started);
+        assert_close(again.solution.objective, 36.0);
+    }
+
+    #[test]
+    fn warm_basic_artificial_cannot_regrow_in_phase_2() {
+        // max y s.t. x + y == 4, x - y == 4: unique point (4, 0), optimum 0.
+        // Hand-craft a warm basis {x, artificial-of-row-1}: it factorizes
+        // and the artificial sits at exactly 0, so the vet accepts it. A
+        // naive phase 2 would then pivot y in through row 0 and *grow* the
+        // artificial (its row-1 FTRAN entry is negative), reporting the
+        // infeasible point (0, 4) as optimal. The artificial must be driven
+        // out before phase 2 instead.
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 0.0);
+        let y = p.add_var("y", 1.0);
+        p.add_constraint("r0", [(x, 1.0), (y, 1.0)], Relation::Eq, 4.0);
+        p.add_constraint("r1", [(x, 1.0), (y, -1.0)], Relation::Eq, 4.0);
+        let opts = opts_for(&p);
+        let cold = solve_revised_with::<f64>(&p, &opts, None).unwrap();
+        assert_close(cold.solution.objective, 0.0);
+        // Columns: x = 0, y = 1, artificial(r0) = 2, artificial(r1) = 3.
+        let warm = Basis {
+            cols: vec![0, 3],
+            num_cols: 4,
+        };
+        let s = solve_revised_with::<f64>(&p, &opts, Some(&warm)).unwrap();
+        assert!(s.warm_started, "the vet must accept this basis");
+        assert_close(s.solution.objective, 0.0);
+        assert_close(s.solution.x[0], 4.0);
+        assert_close(s.solution.x[1], 0.0);
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality() {
+        let p = textbook();
+        let s = solve_revised(&p).unwrap();
+        let dual_obj = s.duals[0] * 4.0 + s.duals[1] * 12.0 + s.duals[2] * 18.0;
+        assert_close(dual_obj, s.objective);
+    }
+
+    #[test]
+    fn mixed_scale_ratio_test_is_not_unbounded() {
+        // Mirror of the tableau regression: with coefficient_scale = 1e6,
+        // x's only pivot entry (1e-4) sits below the scaled tolerance but
+        // must still be eligible in the (basis-frame) ratio test.
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 1.0);
+        p.add_constraint("small", [(x, 1.0e-4)], Relation::Le, 1.0);
+        p.add_constraint("big", [(y, 1.0e6)], Relation::Le, 1.0e6);
+        let s = solve_revised(&p).unwrap();
+        assert!(
+            (s.objective - 10_001.0).abs() < 1e-6,
+            "expected 10001, got {}",
+            s.objective
+        );
+    }
+
+    #[test]
+    fn infeasible_result_does_not_evict_the_cache() {
+        // Infeasible is an answer about the instance, not the basis: the
+        // family's cached basis must survive for the next solve.
+        let p = textbook();
+        let opts = opts_for(&p);
+        let mut cache = BasisCache::new();
+        cache.solve::<f64>(9, &p, &opts).unwrap();
+        let mut infeasible = Problem::maximize();
+        let x = infeasible.add_var("x", 1.0);
+        infeasible.add_constraint("lo", [(x, 1.0)], Relation::Ge, 5.0);
+        infeasible.add_constraint("hi", [(x, 1.0)], Relation::Le, 3.0);
+        assert_eq!(
+            cache.solve::<f64>(9, &infeasible, &opts).unwrap_err(),
+            LpError::Infeasible
+        );
+        assert_eq!(cache.len(), 1, "infeasible answers must not evict");
+        let again = cache.solve::<f64>(9, &p, &opts).unwrap();
+        assert!(again.warm_started);
+    }
+
+    #[test]
+    fn large_coefficients_relative_tolerance() {
+        // Mirror of the tableau regression: 1e6-range coefficients must not
+        // trip the scaled tolerance.
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 3.0e6);
+        let y = p.add_var("y", 5.0e6);
+        p.add_constraint("c1", [(x, 1.0e6)], Relation::Le, 4.0e6);
+        p.add_constraint("c2", [(y, 2.0e6)], Relation::Le, 12.0e6);
+        p.add_constraint("c3", [(x, 3.0e6), (y, 2.0e6)], Relation::Le, 18.0e6);
+        let s = solve_revised(&p).unwrap();
+        assert!((s.objective - 36.0e6).abs() < 36.0 * 1e-3);
+    }
+}

@@ -29,6 +29,9 @@ pub struct SolverOptions {
     /// Pivot count after which the entering rule switches from Dantzig to
     /// Bland (anti-cycling).
     pub bland_after: usize,
+    /// Eta-file length after which the revised solver rebuilds the basis
+    /// inverse from scratch (ignored by the dense tableau).
+    pub refactor_every: usize,
 }
 
 impl SolverOptions {
@@ -38,6 +41,7 @@ impl SolverOptions {
         SolverOptions {
             max_iterations: 2_000 + 200 * dim,
             bland_after: 200 + 20 * dim,
+            refactor_every: 48,
         }
     }
 }
@@ -91,15 +95,68 @@ pub fn solve_exact<S: Scalar>(problem: &Problem) -> Result<Solution<S>, LpError>
     )
 }
 
-/// Kind of a tableau column.
+/// Kind of a standardized column (shared with the revised solver).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ColKind {
+pub(crate) enum ColKind {
     /// One of the problem's declared variables.
     Structural,
     /// Slack (`<=`) or surplus (`>=`) of the given standardized row.
     Logical(usize),
     /// Artificial variable of the given standardized row.
     Artificial(usize),
+}
+
+/// Column layout of a standardized instance: structural columns first, then
+/// one logical per `<=`/`>=` row, then one artificial per `>=`/`==` row.
+/// Both solver backends derive it with [`column_layout`], so a basis
+/// expressed in these indices is portable between them (the foundation of
+/// warm starts and the [`crate::revised::BasisCache`]).
+pub(crate) struct ColumnLayout {
+    /// Kind of every column, in layout order.
+    pub kinds: Vec<ColKind>,
+    /// Row index -> its logical column (`usize::MAX` for `==` rows).
+    pub logical_col: Vec<usize>,
+    /// Row index -> its artificial column (`usize::MAX` for `<=` rows).
+    pub artificial_col: Vec<usize>,
+    /// Total column count.
+    pub cols: usize,
+}
+
+impl ColumnLayout {
+    /// `true` when column `c` is an artificial.
+    pub fn is_artificial(&self, c: usize) -> bool {
+        matches!(self.kinds[c], ColKind::Artificial(_))
+    }
+}
+
+/// Derives the canonical column layout for `n` structural variables and the
+/// given standardized row relations.
+pub(crate) fn column_layout(n: usize, relations: &[Relation]) -> ColumnLayout {
+    let m = relations.len();
+    let mut kinds: Vec<ColKind> = vec![ColKind::Structural; n];
+    let mut logical_col = vec![usize::MAX; m];
+    let mut artificial_col = vec![usize::MAX; m];
+    let mut next = n;
+    for (i, rel) in relations.iter().enumerate() {
+        if matches!(rel, Relation::Le | Relation::Ge) {
+            logical_col[i] = next;
+            kinds.push(ColKind::Logical(i));
+            next += 1;
+        }
+    }
+    for (i, rel) in relations.iter().enumerate() {
+        if matches!(rel, Relation::Ge | Relation::Eq) {
+            artificial_col[i] = next;
+            kinds.push(ColKind::Artificial(i));
+            next += 1;
+        }
+    }
+    ColumnLayout {
+        kinds,
+        logical_col,
+        artificial_col,
+        cols: next,
+    }
 }
 
 /// Dense simplex tableau with an explicit basis.
@@ -116,6 +173,10 @@ struct Tableau<S> {
     basis: Vec<usize>,
     rows: usize,
     cols: usize,
+    /// Relative comparison tolerance: the backend's base tolerance scaled by
+    /// the largest input coefficient magnitude, so platforms with large
+    /// `w`/`c` ratios are not judged against an absolute `1e-9`.
+    tol: S,
 }
 
 impl<S: Scalar> Tableau<S> {
@@ -127,6 +188,12 @@ impl<S: Scalar> Tableau<S> {
     #[inline]
     fn set(&mut self, r: usize, c: usize, v: S) {
         self.a[r * self.cols + c] = v;
+    }
+
+    /// `v > tol` under the instance-scaled tolerance.
+    #[inline]
+    fn is_pos(&self, v: &S) -> bool {
+        *v > self.tol
     }
 
     /// Gauss-Jordan pivot on `(pr, pc)`: row `pr` is scaled so the pivot is
@@ -143,7 +210,12 @@ impl<S: Scalar> Tableau<S> {
         }
         self.rhs[pr] = self.rhs[pr].clone() * inv;
 
-        // Eliminate the pivot column from every other row.
+        // Eliminate the pivot column from every other row. The skip is the
+        // backend's *base* zero test, not the instance-scaled tolerance:
+        // the pivot row is normalized to O(1), so a factor of, say, 1e-4 is
+        // a genuine entry on a 1e6-scaled instance and must be eliminated
+        // (the scaled tolerance is only for decision predicates on
+        // O(scale) quantities).
         for r in 0..self.rows {
             if r == pr {
                 continue;
@@ -159,12 +231,12 @@ impl<S: Scalar> Tableau<S> {
             self.rhs[r] = self.rhs[r].clone() - factor * self.rhs[pr].clone();
             // Clamp tiny negative noise on the f64 backend so the invariant
             // rhs >= 0 survives long pivot sequences.
-            if self.rhs[r].is_negative() && self.rhs[r].abs() <= S::tolerance() + S::tolerance() {
+            if self.rhs[r] < S::zero() && self.rhs[r].abs() <= self.tol.clone() + self.tol.clone() {
                 self.rhs[r] = S::zero();
             }
         }
 
-        // Eliminate from the reduced-cost row.
+        // Eliminate from the reduced-cost row (same base-zero skip).
         let zfactor = self.zrow[pc].clone();
         if !zfactor.is_zero() {
             for c in 0..self.cols {
@@ -201,25 +273,25 @@ impl<S: Scalar> Tableau<S> {
 
 /// One standardized row: dense structural coefficients, relation, rhs, plus
 /// bookkeeping for dual-sign recovery.
-struct StdRow<S> {
-    coeffs: Vec<S>,
-    relation: Relation,
-    rhs: S,
+pub(crate) struct StdRow<S> {
+    pub coeffs: Vec<S>,
+    pub relation: Relation,
+    pub rhs: S,
     /// `true` when the row was negated to make its rhs non-negative.
-    flipped: bool,
+    pub flipped: bool,
 }
 
-/// Fully assembled standard-form instance.
-struct StandardForm<S> {
-    rows: Vec<StdRow<S>>,
+/// Fully assembled standard-form instance (shared with the revised solver).
+pub(crate) struct StandardForm<S> {
+    pub rows: Vec<StdRow<S>>,
     /// Phase-2 cost per structural variable (maximization).
-    costs: Vec<S>,
+    pub costs: Vec<S>,
     /// `true` if the input sense was `Minimize` (objective and duals are
     /// negated on the way out).
-    negated: bool,
+    pub negated: bool,
 }
 
-fn standardize<S: Scalar>(problem: &Problem) -> StandardForm<S> {
+pub(crate) fn standardize<S: Scalar>(problem: &Problem) -> StandardForm<S> {
     let negate = problem.sense() == Sense::Minimize;
     let costs: Vec<S> = problem
         .objective()
@@ -279,34 +351,17 @@ pub fn solve_with<S: Scalar>(
     let n = problem.num_vars();
     let std_form = standardize::<S>(problem);
     let m = std_form.rows.len();
+    let tol = S::tolerance() * S::from_f64(problem.coefficient_scale());
 
     // ---- Column layout: structural | logical | artificial | (rhs separate).
-    let mut kinds: Vec<ColKind> = vec![ColKind::Structural; n];
-    // (row -> logical col), (row -> artificial col)
-    let mut logical_col = vec![usize::MAX; m];
-    let mut artificial_col = vec![usize::MAX; m];
-    let mut next = n;
-    for (i, row) in std_form.rows.iter().enumerate() {
-        match row.relation {
-            Relation::Le | Relation::Ge => {
-                logical_col[i] = next;
-                kinds.push(ColKind::Logical(i));
-                next += 1;
-            }
-            Relation::Eq => {}
-        }
-    }
-    for (i, row) in std_form.rows.iter().enumerate() {
-        match row.relation {
-            Relation::Ge | Relation::Eq => {
-                artificial_col[i] = next;
-                kinds.push(ColKind::Artificial(i));
-                next += 1;
-            }
-            Relation::Le => {}
-        }
-    }
-    let cols = next;
+    let relations: Vec<Relation> = std_form.rows.iter().map(|r| r.relation).collect();
+    let layout = column_layout(n, &relations);
+    let ColumnLayout {
+        ref kinds,
+        ref logical_col,
+        ref artificial_col,
+        cols,
+    } = layout;
 
     // ---- Assemble the tableau.
     let mut t = Tableau {
@@ -317,6 +372,7 @@ pub fn solve_with<S: Scalar>(
         basis: vec![0; m],
         rows: m,
         cols,
+        tol,
     };
     for (i, row) in std_form.rows.iter().enumerate() {
         for (j, v) in row.coeffs.iter().enumerate() {
@@ -355,12 +411,15 @@ pub fn solve_with<S: Scalar>(
         t.reprice(&p1_costs);
         run_phase(&mut t, &mut iterations, opts, |_c| true)?;
 
-        // Optimal phase-1 value must be ~0 for feasibility.
-        if t.zval.is_negative() {
+        // Optimal phase-1 value must be ~0 for feasibility; the threshold is
+        // row-scaled because the value sums residuals over all m rows.
+        let infeas_tol = t.tol.clone() * S::from_f64(m.max(1) as f64);
+        if t.zval < -infeas_tol {
             return Err(LpError::Infeasible);
         }
 
-        // Drive residual basic artificials out with degenerate pivots.
+        // Drive residual basic artificials out with degenerate pivots
+        // (base-tolerance test: these are normalized-frame entries).
         for r in 0..m {
             if is_artificial(t.basis[r]) {
                 if let Some(pc) = (0..cols).find(|&c| !is_artificial(c) && !t.at(r, c).is_zero()) {
@@ -377,9 +436,8 @@ pub fn solve_with<S: Scalar>(
     let mut p2_costs = vec![S::zero(); cols];
     p2_costs[..n].clone_from_slice(&std_form.costs);
     t.reprice(&p2_costs);
-    let kinds_ref = &kinds;
     run_phase(&mut t, &mut iterations, opts, |c| {
-        !matches!(kinds_ref[c], ColKind::Artificial(_))
+        !matches!(kinds[c], ColKind::Artificial(_))
     })?;
 
     // ---- Extract the primal point.
@@ -446,11 +504,11 @@ fn run_phase<S: Scalar>(
         // Entering column: positive reduced cost (maximization).
         let mut entering: Option<usize> = None;
         if use_bland {
-            entering = (0..t.cols).find(|&c| enterable(c) && t.zrow[c].is_positive());
+            entering = (0..t.cols).find(|&c| enterable(c) && t.is_pos(&t.zrow[c]));
         } else {
             let mut best: Option<(usize, S)> = None;
             for c in 0..t.cols {
-                if enterable(c) && t.zrow[c].is_positive() {
+                if enterable(c) && t.is_pos(&t.zrow[c]) {
                     let improves = match &best {
                         Some((_, v)) => t.zrow[c] > *v,
                         None => true,
@@ -470,6 +528,10 @@ fn run_phase<S: Scalar>(
         // at zero and the entering column touches its row, pivot it out
         // immediately (keeps artificials from re-entering the positive
         // orthant during phase 2).
+        // Ratio test. Tableau entries are O(1) after pivot normalization —
+        // not O(coefficient_scale) — so eligibility uses the backend's
+        // *base* tolerance; the scaled tolerance would skip genuine small
+        // pivots on mixed-scale instances and misreport Unbounded.
         let mut leaving: Option<(usize, S)> = None;
         for r in 0..t.rows {
             let a = t.at(r, pc).clone();
@@ -689,6 +751,7 @@ mod tests {
         let opts = SolverOptions {
             max_iterations: 0,
             bland_after: 0,
+            refactor_every: 48,
         };
         assert!(matches!(
             solve_with::<f64>(&p, &opts),
@@ -707,6 +770,125 @@ mod tests {
         p.add_constraint("c3", [(x, 1.0), (y, 1.0)], Relation::Le, 0.0);
         let s = solve(&p).unwrap();
         assert_close(s.objective, 0.0);
+    }
+
+    #[test]
+    fn large_coefficients_use_relative_tolerance() {
+        // The same textbook LP with every row scaled by 1e6: an absolute
+        // 1e-9 pivot tolerance is meaningless against 1e6-range entries
+        // (reduced costs of ~1e-3 relative noise look "positive"), while the
+        // relative tolerance keeps the solve exact. Regression for the
+        // hard-coded-epsilon bug.
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 3.0e6);
+        let y = p.add_var("y", 5.0e6);
+        p.add_constraint("c1", [(x, 1.0e6)], Relation::Le, 4.0e6);
+        p.add_constraint("c2", [(y, 2.0e6)], Relation::Le, 12.0e6);
+        p.add_constraint("c3", [(x, 3.0e6), (y, 2.0e6)], Relation::Le, 18.0e6);
+        assert_eq!(p.coefficient_scale(), 18.0e6);
+        let s = solve(&p).unwrap();
+        assert!(
+            (s.objective - 36.0e6).abs() < 36.0 * 1e-3,
+            "{}",
+            s.objective
+        );
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn large_coefficients_no_spurious_infeasibility() {
+        // Equality rows in the 1e6 range: phase 1 must accept the residual
+        // rounding noise (relative to the coefficient scale) instead of
+        // declaring the instance infeasible.
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 1.0);
+        p.add_constraint("sum", [(x, 1.0e6), (y, 1.0e6)], Relation::Eq, 5.0e6);
+        p.add_constraint("diff", [(x, 3.0e6), (y, -1.0e6)], Relation::Eq, 3.0e6);
+        let s = solve(&p).unwrap();
+        assert_close(s.objective, 5.0);
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 3.0);
+    }
+
+    #[test]
+    fn large_w_over_c_ratio_platform_shape() {
+        // The divisible-load shape that motivated the fix: deadline rows
+        // mixing O(1) communication with O(1e6) computation coefficients.
+        // maximize a1 + a2 with w = 2e6, c = 1, d = 0.5 (so the optimum is
+        // tiny but must not be declared one pivot early).
+        let mut p = Problem::maximize();
+        let a1 = p.add_var("a1", 1.0);
+        let a2 = p.add_var("a2", 1.0);
+        p.add_constraint(
+            "d1",
+            [(a1, 1.0 + 2.0e6 + 0.5), (a2, 0.5)],
+            Relation::Le,
+            1.0,
+        );
+        p.add_constraint(
+            "d2",
+            [(a1, 1.0), (a2, 1.0 + 2.0e6 + 0.5)],
+            Relation::Le,
+            1.0,
+        );
+        p.add_constraint("port", [(a1, 1.5), (a2, 1.5)], Relation::Le, 1.0);
+        let s = solve(&p).unwrap();
+        // Both workers saturate their compute deadline: a_i ~= 1/(w + c + d).
+        let sr = solve_exact::<Rational>(&p).unwrap().to_f64();
+        assert!(
+            (s.objective - sr.objective).abs() <= 1e-9 * sr.objective.abs().max(1.0),
+            "float {} vs exact {}",
+            s.objective,
+            sr.objective
+        );
+        assert!(s.objective > 0.0);
+    }
+
+    #[test]
+    fn mixed_scale_coefficients_are_still_eliminated() {
+        // One 1e6-range row next to O(1e-3) coefficients: the scaled
+        // tolerance must gate *decisions* only — a small-but-real pivot
+        // factor (far below tol = 1e-9 * scale) still has to be eliminated,
+        // or the tableau drifts at ~1e-3 relative error. Certified against
+        // the exact backend.
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 1.0);
+        p.add_constraint("big", [(x, 1.0e6), (y, 1.0e6)], Relation::Le, 2.0e6);
+        p.add_constraint("tiny", [(x, 5.0e-4), (y, 1.0)], Relation::Le, 1.0);
+        p.add_constraint("cap", [(x, 1.0)], Relation::Le, 1.2);
+        let sf = solve(&p).unwrap();
+        let sr = solve_exact::<Rational>(&p).unwrap().to_f64();
+        assert!(
+            (sf.objective - sr.objective).abs() <= 1e-9 * sr.objective.abs().max(1.0),
+            "float {} vs exact {}",
+            sf.objective,
+            sr.objective
+        );
+        for (a, b) in sf.x.iter().zip(&sr.x) {
+            assert!((a - b).abs() <= 1e-7, "point drifted: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mixed_scale_ratio_test_is_not_unbounded() {
+        // coefficient_scale = 1e6 makes the scaled tolerance 1e-3 — larger
+        // than x's only constraint coefficient (1e-4). The ratio test must
+        // still accept that entry (tableau entries are normalized-frame):
+        // the LP is bounded with optimum 1e4 + 1 = 10001.
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 1.0);
+        p.add_constraint("small", [(x, 1.0e-4)], Relation::Le, 1.0);
+        p.add_constraint("big", [(y, 1.0e6)], Relation::Le, 1.0e6);
+        let s = solve(&p).unwrap();
+        assert!(
+            (s.objective - 10_001.0).abs() < 1e-6,
+            "expected 10001, got {}",
+            s.objective
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! the parallelism the workload needs (no rayon dependency; see
 //! `DESIGN.md` §7).
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Applies `f` to every element of `items` in parallel, preserving order.
@@ -13,6 +14,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Work is distributed dynamically via an atomic cursor so uneven item
 /// costs (LPs of different sizes) balance across threads. Runs inline when
 /// `items` is small or only one CPU is available.
+///
+/// # Panics
+/// If `f` panics on some item, the *rest of the batch still completes*:
+/// the panic is caught, the remaining items are processed, and the first
+/// failing item's panic is then re-raised with its index and message (so a
+/// single bad platform in a 450-instance sweep is diagnosable instead of
+/// aborting the scope with an opaque joined-thread panic and losing all
+/// completed work).
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
@@ -21,40 +30,61 @@ where
 {
     let n = items.len();
     let threads = available_threads().min(n.max(1));
+    let run = |i: usize| -> Result<U, String> {
+        catch_unwind(AssertUnwindSafe(|| f(&items[i]))).map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            }
+        })
+    };
+
+    let mut results: Vec<Option<Result<U, String>>> = Vec::with_capacity(n);
     if threads <= 1 || n < 2 {
-        return items.iter().map(&f).collect();
+        for i in 0..n {
+            results.push(Some(run(i)));
+        }
+    } else {
+        results.resize_with(n, || None);
+        let cursor = AtomicUsize::new(0);
+        let slots = std::sync::Mutex::new(&mut results);
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    // Each worker claims indices off the shared cursor and
+                    // buffers its outputs locally to keep the mutex cold.
+                    let mut local: Vec<(usize, Result<U, String>)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, run(i)));
+                    }
+                    let mut guard = slots.lock().expect("no poisoned threads");
+                    for (i, v) in local {
+                        guard[i] = Some(v);
+                    }
+                });
+            }
+        });
     }
 
-    let mut results: Vec<Option<U>> = Vec::with_capacity(n);
-    results.resize_with(n, || None);
-    let cursor = AtomicUsize::new(0);
-    let slots = std::sync::Mutex::new(&mut results);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                // Each worker claims indices off the shared cursor and
-                // buffers its outputs locally to keep the mutex cold.
-                let mut local: Vec<(usize, U)> = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    local.push((i, f(&items[i])));
-                }
-                let mut guard = slots.lock().expect("no poisoned threads");
-                for (i, v) in local {
-                    guard[i] = Some(v);
-                }
-            });
+    let completed = results.iter().filter(|r| matches!(r, Some(Ok(_)))).count();
+    let mut out = Vec::with_capacity(n);
+    for (i, slot) in results.into_iter().enumerate() {
+        match slot.expect("every index was claimed") {
+            Ok(v) => out.push(v),
+            Err(msg) => resume_unwind(Box::new(format!(
+                "par_map: item {i} of {n} panicked ({completed} items completed): {msg}"
+            ))),
         }
-    });
-
-    results
-        .into_iter()
-        .map(|v| v.expect("every index was claimed"))
-        .collect()
+    }
+    out
 }
 
 fn available_threads() -> usize {
@@ -100,5 +130,57 @@ mod tests {
         let offset = 100;
         let out = par_map(&[1, 2, 3], |&x: &i32| x + offset);
         assert_eq!(out, vec![101, 102, 103]);
+    }
+
+    #[test]
+    fn panicking_item_is_reported_with_its_index() {
+        let items: Vec<u64> = (0..64).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            par_map(&items, |&x| {
+                if x == 13 {
+                    panic!("platform 13 is cursed");
+                }
+                x
+            })
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("formatted panic message")
+            .clone();
+        assert!(msg.contains("item 13 of 64"), "message was: {msg}");
+        assert!(msg.contains("platform 13 is cursed"), "message was: {msg}");
+        assert!(msg.contains("63 items completed"), "message was: {msg}");
+    }
+
+    #[test]
+    fn inline_path_also_reports_index() {
+        // n < 2 forces the inline path; a singleton panic still carries its
+        // index and message.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            par_map(&[1u64], |_| -> u64 { panic!("bad singleton") })
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap().clone();
+        assert!(msg.contains("item 0 of 1"), "message was: {msg}");
+        assert!(msg.contains("bad singleton"), "message was: {msg}");
+    }
+
+    #[test]
+    fn earliest_failing_index_wins() {
+        // Multiple failures: the re-raised panic names the smallest index
+        // (deterministic regardless of thread interleaving).
+        let items: Vec<u64> = (0..32).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            par_map(&items, |&x| {
+                if x % 10 == 7 {
+                    panic!("bad {x}");
+                }
+                x
+            })
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap().clone();
+        assert!(msg.contains("item 7 of 32"), "message was: {msg}");
     }
 }

@@ -175,7 +175,13 @@ pub fn strategy_table(platform: &Platform) -> Table {
                     Err(violations) => format!("INFEASIBLE ({})", violations.len()),
                 };
                 let provenance = match sol.provenance {
-                    Provenance::Lp { iterations } => format!("lp ({iterations} pivots)"),
+                    Provenance::Lp {
+                        iterations,
+                        warm_start,
+                    } => {
+                        let warm = if warm_start { ", warm" } else { "" };
+                        format!("lp ({iterations} pivots{warm})")
+                    }
                     Provenance::ClosedForm => "closed form".into(),
                     Provenance::Search { evaluated } => {
                         format!("search ({evaluated} scenarios)")

@@ -114,7 +114,7 @@ fn provenance_distinguishes_solver_families() {
         .unwrap()
         .solve(&p)
         .unwrap();
-    assert!(matches!(lp.provenance, Provenance::Lp { iterations } if iterations > 0));
+    assert!(matches!(lp.provenance, Provenance::Lp { iterations, .. } if iterations > 0));
     let cf = dls::core::lookup("bus_fifo").unwrap().solve(&p).unwrap();
     assert_eq!(cf.provenance, Provenance::ClosedForm);
     let search = dls::core::lookup("brute_fifo").unwrap().solve(&p).unwrap();
