@@ -3,9 +3,13 @@
 //!
 //! Usage: `repro_all [--quick] [--out <dir>]` (default out dir: `results`).
 
+use dls_bench::figures::sweep::{r_sweep_variant, run_r_sweep};
 use dls_bench::figures::{fig08, fig09, fig10_13, fig14};
 use dls_bench::SweepConfig;
-use dls_report::{write_dat, write_text};
+use dls_platform::{ClusterModel, MatrixApp, PlatformSampler};
+use dls_report::{multiround_table, write_dat, write_text, Series};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -61,8 +65,8 @@ fn main() {
         for row in &res.rows {
             for skip in &row.skipped {
                 println!(
-                    "  note: n = {}: {} skipped on {} platform(s): {}",
-                    row.size, skip.legend, skip.platforms, skip.reason
+                    "  note: n = {}: {} ({}) skipped on {} platform(s): {}",
+                    row.size, skip.id, skip.legend, skip.platforms, skip.reason
                 );
             }
         }
@@ -81,6 +85,76 @@ fn main() {
         )
         .expect("txt");
         write_text(&out.join(format!("{stem}.csv")), &table.to_csv()).expect("csv");
+    }
+
+    // --- Multi-round installment trade-off (beyond the paper; ROADMAP's
+    // multi-round item). Averaged R-sweep over the heterogeneous-star
+    // family at the paper-scale size, plus the trade-off table on one
+    // concrete paper-scale platform.
+    dls_rounds::install();
+    {
+        let started = Instant::now();
+        let r_res = run_r_sweep(&cfg, &r_sweep_variant());
+        println!(
+            "{} — n = {}, {} platforms, makespans normalized by {} (mean {:.3} s)\n",
+            r_res.label, r_res.n, cfg.platforms, r_res.baseline, r_res.baseline_makespan
+        );
+        let r_table = r_res.table();
+        println!("{}", r_table.render());
+        for row in &r_res.rows {
+            for skip in &row.skipped {
+                println!(
+                    "  note: R = {}: {} ({}) skipped on {} platform(s): {}",
+                    row.rounds, skip.id, skip.legend, skip.platforms, skip.reason
+                );
+            }
+        }
+        println!("(multiround R-sweep in {:.1?})\n", started.elapsed());
+        let xs: Vec<f64> = r_res.rows.iter().map(|r| r.rounds as f64).collect();
+        let series: Vec<Series> = r_res
+            .rows
+            .first()
+            .map(|first| {
+                first
+                    .ratios
+                    .iter()
+                    .enumerate()
+                    .map(|(k, (name, _))| {
+                        Series::new(
+                            name.clone(),
+                            r_res.rows.iter().map(|r| r.ratios[k].1).collect(),
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        write_dat(&out.join("multiround_rsweep.dat"), "rounds", &xs, &series).expect("dat");
+        write_text(
+            &out.join("multiround_rsweep.txt"),
+            &format!("{}\n\n{}", r_res.label, r_table.render()),
+        )
+        .expect("txt");
+        write_text(&out.join("multiround_rsweep.csv"), &r_table.to_csv()).expect("csv");
+
+        // One concrete paper-scale platform (gdsdmi cluster, n = 200,
+        // heterogeneous star, fixed seed) for the absolute-makespan table.
+        let mut rng = StdRng::seed_from_u64(0xF16A0);
+        let platform = PlatformSampler::hetero_star().sample(
+            &MatrixApp::new(200),
+            &ClusterModel::gdsdmi(),
+            &mut rng,
+        );
+        let mr_table = multiround_table(&platform, &[1, 2, 4, 8]);
+        println!("makespan vs R on one paper-scale platform (n = 200, unit load):\n");
+        println!("{}", mr_table.render());
+        write_text(
+            &out.join("multiround_platform.txt"),
+            &format!(
+                "makespan vs R, gdsdmi n = 200 sample platform\n\n{}",
+                mr_table.render()
+            ),
+        )
+        .expect("txt");
     }
 
     // --- Figure 14 (both subfigures plus the header/text discrepancy run).

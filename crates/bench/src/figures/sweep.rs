@@ -50,13 +50,17 @@ pub struct SweepVariant {
 }
 
 impl SweepVariant {
-    /// Resolves the configured ids against the scheduler registry.
+    /// Resolves the configured ids against the scheduler registry
+    /// (installing the multi-round provider first, so `multiround_*` ids —
+    /// including parameterized ones like `multiround_lp@8` — are always
+    /// resolvable from sweep configuration).
     ///
     /// # Panics
     /// Panics on an id absent from [`dls_core::registry`] — a sweep over a
     /// nonexistent strategy is a configuration bug, not a runtime
     /// condition.
     pub fn resolve_schedulers(&self) -> Vec<Box<dyn Scheduler>> {
+        dls_rounds::install();
         assert!(
             !self.schedulers.is_empty(),
             "sweep variant '{}' names no schedulers",
@@ -75,6 +79,11 @@ impl SweepVariant {
 /// A strategy that could not solve one or more platforms at a given size.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SkippedStrategy {
+    /// Registry id of the skipped strategy — the exact string the sweep
+    /// was configured with, so parameterized ids (`multiround_lp@8`) and
+    /// any future provider ids report unambiguously (legends need not be
+    /// unique across configurations).
+    pub id: String,
     /// Legend of the skipped strategy.
     pub legend: String,
     /// Number of platforms it failed on (out of the sweep's platform
@@ -181,8 +190,10 @@ fn run_scheduler(
     // Theoretical time for M units: linearity gives T = M / rho.
     let lp_time = total_units as f64 / sol.throughput;
     let int_sched = integer_schedule(&sol.schedule, total_units);
+    // Multi-round solutions live on their expanded virtual platform; the
+    // simulator replays them there (one-round solutions execute directly).
     let report = simulate(
-        platform,
+        sol.execution_platform(platform),
         &int_sched,
         &SimConfig {
             realism,
@@ -356,6 +367,7 @@ pub fn run_sweep(cfg: &SweepConfig, variant: &SweepVariant) -> SweepResult {
                     })
                     .expect("failures counted above");
                 skipped.push(SkippedStrategy {
+                    id: variant.schedulers[si].clone(),
                     legend: s.legend().to_string(),
                     platforms: failures,
                     reason,
@@ -394,6 +406,231 @@ pub fn run_sweep(cfg: &SweepConfig, variant: &SweepVariant) -> SweepResult {
     SweepResult {
         label: variant.label.clone(),
         baseline: schedulers[0].legend().to_string(),
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-round R-sweep: the latency/throughput trade-off axis.
+// ---------------------------------------------------------------------------
+
+/// Configuration of the multi-round R-sweep: which installment counts and
+/// planner families to compare, against which one-round baseline.
+#[derive(Debug, Clone)]
+pub struct RSweepVariant {
+    /// Label for headers and file names.
+    pub label: String,
+    /// Random platform family (the paper-scale default samples the
+    /// fully heterogeneous star family).
+    pub sampler: PlatformSampler,
+    /// Installment counts on the table's R axis.
+    pub rounds: Vec<usize>,
+    /// Base registry ids of the planners (`@R` is appended per row);
+    /// resolved through the provider, so `dls-rounds` ids work out of the
+    /// box.
+    pub planners: Vec<String>,
+    /// One-round reference id whose makespan normalizes every cell
+    /// (canonically `optimal_fifo`).
+    pub baseline: String,
+}
+
+/// The default R-sweep: `R ∈ {1, 2, 4, 8}` for all three `multiround_*`
+/// planners on the paper's heterogeneous-star family, normalized by
+/// `optimal_fifo`.
+pub fn r_sweep_variant() -> RSweepVariant {
+    RSweepVariant {
+        label: "multi-round installment trade-off (makespan vs R)".into(),
+        sampler: PlatformSampler::hetero_star(),
+        rounds: vec![1, 2, 4, 8],
+        planners: vec![
+            "multiround_uniform".into(),
+            "multiround_geometric".into(),
+            "multiround_lp".into(),
+        ],
+        baseline: "optimal_fifo".into(),
+    }
+}
+
+/// One R-sweep row: an installment count plus each planner's mean
+/// makespan ratio against the baseline's one-round makespan.
+#[derive(Debug, Clone)]
+pub struct RSweepRow {
+    /// Installment count `R`.
+    pub rounds: usize,
+    /// `(column name, mean makespan / baseline makespan)` per planner;
+    /// ratios below 1 mean the multi-round plan beats one-round
+    /// `optimal_fifo`. A planner that solved no platform is `NaN`.
+    pub ratios: Vec<(String, f64)>,
+    /// Planner configurations that failed on some platforms at this R,
+    /// keyed by their full parameterized registry id.
+    pub skipped: Vec<SkippedStrategy>,
+}
+
+/// Complete R-sweep result.
+#[derive(Debug, Clone)]
+pub struct RSweepResult {
+    /// Label of the variant.
+    pub label: String,
+    /// Matrix size the platforms were built for.
+    pub n: usize,
+    /// Legend of the normalizing baseline.
+    pub baseline: String,
+    /// Mean one-round baseline makespan in seconds (absolute reference).
+    pub baseline_makespan: f64,
+    /// One row per installment count.
+    pub rows: Vec<RSweepRow>,
+}
+
+impl RSweepResult {
+    /// Renders the trade-off table (one row per R).
+    pub fn table(&self) -> Table {
+        let mut headers: Vec<String> = vec!["R".into()];
+        if let Some(row) = self.rows.first() {
+            headers.extend(row.ratios.iter().map(|(name, _)| name.clone()));
+        }
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new(&header_refs);
+        for row in &self.rows {
+            let mut cells = vec![row.rounds.to_string()];
+            cells.extend(row.ratios.iter().map(|(_, v)| num(*v, 4)));
+            t.row(&cells);
+        }
+        t
+    }
+}
+
+/// Runs the multi-round R-sweep at the paper-scale matrix size (the last
+/// entry of `cfg.sizes`), averaging each planner's predicted makespan over
+/// `cfg.platforms` sampled platforms and normalizing by the baseline's
+/// one-round makespan per platform.
+///
+/// # Panics
+/// Like [`run_sweep`]: the baseline must solve every platform, and
+/// non-applicability planner errors abort loudly; applicability errors are
+/// recorded in [`RSweepRow::skipped`].
+pub fn run_r_sweep(cfg: &SweepConfig, variant: &RSweepVariant) -> RSweepResult {
+    dls_rounds::install();
+    let cluster = ClusterModel::gdsdmi();
+    let n = *cfg.sizes.last().expect("sweep config has sizes");
+    let app = MatrixApp::new(n);
+    let baseline =
+        dls_core::lookup(&variant.baseline).expect("unknown baseline id in R-sweep variant");
+
+    // Stable column legends come from the planners' *default* instances
+    // (the per-row instances carry `@R` suffixes).
+    let columns: Vec<String> = variant
+        .planners
+        .iter()
+        .map(|id| {
+            dls_core::lookup(id)
+                .unwrap_or_else(|| panic!("unknown planner '{id}' in R-sweep variant"))
+                .legend()
+                .to_string()
+        })
+        .collect();
+
+    // Full parameterized id per (R, planner) cell, resolved once.
+    let cells: Vec<(usize, String, Box<dyn Scheduler>)> = variant
+        .rounds
+        .iter()
+        .flat_map(|&r| {
+            variant.planners.iter().map(move |id| {
+                let full = format!("{id}@{r}");
+                let s = dls_core::lookup(&full)
+                    .unwrap_or_else(|| panic!("unknown planner '{full}' in R-sweep variant"));
+                (r, full, s)
+            })
+        })
+        .collect();
+
+    let factor_sets: Vec<(Vec<f64>, Vec<f64>)> = (0..cfg.platforms)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(cfg.base_seed.wrapping_add(i as u64));
+            variant.sampler.sample_factors(&mut rng)
+        })
+        .collect();
+
+    let engine = dls_core::lp_model::current_engine();
+    let evaluated: Vec<(f64, Vec<Result<f64, String>>)> = par_map(&factor_sets, |(comm, comp)| {
+        dls_core::lp_model::with_engine(engine, || {
+            let platform = cluster
+                .platform(&app, comm, comp)
+                .expect("sampled factors valid");
+            let base = baseline.solve(&platform).unwrap_or_else(|e| {
+                panic!(
+                    "R-sweep '{}': baseline '{}' failed: {e}",
+                    variant.label, variant.baseline
+                )
+            });
+            let base_makespan = 1.0 / base.throughput;
+            let outcomes = cells
+                .iter()
+                .map(|(r, full, s)| match s.solve(&platform) {
+                    Ok(sol) => Ok((1.0 / sol.throughput) / base_makespan),
+                    Err(e) if e.is_applicability() => Err(e.to_string()),
+                    Err(e) => panic!(
+                        "R-sweep '{}': planner '{full}' hit a non-applicability error at \
+                         R = {r} (a solver bug, not a platform mismatch): {e}",
+                        variant.label
+                    ),
+                })
+                .collect();
+            (base_makespan, outcomes)
+        })
+    });
+
+    let baseline_makespan =
+        mean(&evaluated.iter().map(|(m, _)| *m).collect::<Vec<_>>()) * cfg.total_units as f64;
+
+    let mut rows = Vec::with_capacity(variant.rounds.len());
+    for &r in &variant.rounds {
+        let mut ratios = Vec::new();
+        let mut skipped = Vec::new();
+        let mut col = 0;
+        for (ci, (cr, full, s)) in cells.iter().enumerate() {
+            if *cr != r {
+                continue;
+            }
+            let solved: Vec<f64> = evaluated
+                .iter()
+                .filter_map(|(_, o)| o[ci].as_ref().ok().copied())
+                .collect();
+            let failures = evaluated.len() - solved.len();
+            if failures > 0 {
+                let reason = evaluated
+                    .iter()
+                    .find_map(|(_, o)| o[ci].as_ref().err().cloned())
+                    .expect("failures counted above");
+                skipped.push(SkippedStrategy {
+                    id: full.clone(),
+                    legend: s.legend().to_string(),
+                    platforms: failures,
+                    reason,
+                });
+            }
+            let value = if solved.is_empty() {
+                f64::NAN
+            } else {
+                mean(&solved)
+            };
+            ratios.push((
+                format!("{} mk/{} mk", columns[col], baseline.legend()),
+                value,
+            ));
+            col += 1;
+        }
+        rows.push(RSweepRow {
+            rounds: r,
+            ratios,
+            skipped,
+        });
+    }
+
+    RSweepResult {
+        label: variant.label.clone(),
+        n,
+        baseline: baseline.legend().to_string(),
+        baseline_makespan,
         rows,
     }
 }
@@ -646,5 +883,123 @@ mod tests {
         let mut v = quick_variant();
         v.schedulers = vec!["definitely_not_registered".into()];
         v.resolve_schedulers();
+    }
+
+    #[test]
+    fn parameterized_multiround_ids_join_an_ordinary_sweep() {
+        // The provider story end-to-end: a multi-round id configured like
+        // any other registry string, its expanded solution simulated on the
+        // execution platform, no skips.
+        let cfg = SweepConfig {
+            sizes: vec![80],
+            platforms: 2,
+            total_units: 50,
+            base_seed: 9,
+        };
+        let mut v = quick_variant();
+        v.schedulers = vec!["inc_c".into(), "multiround_lp@2".into()];
+        let res = run_sweep(&cfg, &v);
+        let row = &res.rows[0];
+        assert!(
+            row.skipped.is_empty(),
+            "unexpected skips: {:?}",
+            row.skipped
+        );
+        let mr_lp = row
+            .ratios
+            .iter()
+            .find(|(n, _)| n == "MR_LP@2 lp/INC_C lp")
+            .unwrap()
+            .1;
+        // The 2-round LP plan embeds every 1-round plan, and INC_C is the
+        // optimal FIFO on this z = 1/2 family: ratio <= 1.
+        assert!(mr_lp <= 1.0 + 1e-6, "MR_LP@2 lp ratio {mr_lp}");
+        let mr_real = row
+            .ratios
+            .iter()
+            .find(|(n, _)| n == "MR_LP@2 real/INC_C lp")
+            .unwrap()
+            .1;
+        assert!(mr_real.is_finite(), "expanded schedule failed to simulate");
+    }
+
+    #[test]
+    fn r_sweep_r1_matches_the_baseline_and_r4_improves() {
+        // The acceptance shape of the trade-off table: R = 1 reduces to
+        // optimal_fifo exactly (ratio 1) and the LP planner strictly
+        // improves for some R > 1 at the paper-scale size.
+        let cfg = SweepConfig {
+            sizes: vec![200],
+            platforms: 4,
+            total_units: 1000,
+            base_seed: 11,
+        };
+        let res = run_r_sweep(&cfg, &r_sweep_variant());
+        assert_eq!(res.n, 200);
+        assert_eq!(res.baseline, "OPT_FIFO");
+        assert!(res.baseline_makespan > 0.0);
+        assert_eq!(res.rows.len(), 4);
+        let r1 = &res.rows[0];
+        assert_eq!(r1.rounds, 1);
+        for (name, ratio) in &r1.ratios {
+            assert!(
+                (ratio - 1.0).abs() < 1e-9,
+                "{name} at R = 1 should be exactly the baseline, got {ratio}"
+            );
+        }
+        let lp_at = |row: &RSweepRow| {
+            row.ratios
+                .iter()
+                .find(|(n, _)| n.starts_with("MR_LP"))
+                .unwrap()
+                .1
+        };
+        // Monotone along R for the LP planner (zero rounds are feasible)…
+        let mut prev = f64::INFINITY;
+        for row in &res.rows {
+            let v = lp_at(row);
+            assert!(v <= prev + 1e-9, "LP ratio increased at R = {}", row.rounds);
+            prev = v;
+        }
+        // …and strictly better than one round by R = 4.
+        let r4 = res.rows.iter().find(|r| r.rounds == 4).unwrap();
+        assert!(
+            lp_at(r4) < 1.0 - 1e-6,
+            "R = 4 LP plan should strictly beat one-round optimal FIFO, got {}",
+            lp_at(r4)
+        );
+        assert!(res.rows.iter().all(|r| r.skipped.is_empty()));
+    }
+
+    #[test]
+    fn r_sweep_table_has_one_row_per_round_count() {
+        let cfg = SweepConfig {
+            sizes: vec![120],
+            platforms: 2,
+            total_units: 100,
+            base_seed: 12,
+        };
+        let mut v = r_sweep_variant();
+        v.rounds = vec![1, 2];
+        let res = run_r_sweep(&cfg, &v);
+        let t = res.table();
+        assert_eq!(t.num_rows(), 2);
+        let rendered = t.render();
+        assert!(rendered.contains("MR_LP mk/OPT_FIFO mk"), "{rendered}");
+    }
+
+    #[test]
+    fn r_sweep_is_deterministic() {
+        let cfg = SweepConfig {
+            sizes: vec![120],
+            platforms: 3,
+            total_units: 100,
+            base_seed: 13,
+        };
+        let a = run_r_sweep(&cfg, &r_sweep_variant());
+        let b = run_r_sweep(&cfg, &r_sweep_variant());
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.ratios, rb.ratios);
+        }
     }
 }

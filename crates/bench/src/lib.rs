@@ -22,5 +22,6 @@
 
 pub mod figures;
 pub mod scenarios;
+pub mod smoke;
 
 pub use scenarios::{Heuristic, SweepConfig};

@@ -6,11 +6,19 @@
 //! which forced every downstream consumer — sweeps, report tables,
 //! benchmarks — to hard-code each call site. This module normalizes them:
 //!
-//! * [`Scheduler`] — `name()` + `solve(&Platform) -> Result<Solution>`;
-//! * [`Solution`] — schedule + throughput + [`Provenance`];
+//! * [`Scheduler`] — `name()` + `solve(&Platform) -> Result<Solution>`,
+//!   plus [`Scheduler::solve_exact`] for exact-rational certification;
+//! * [`Solution`] — schedule + throughput + [`Provenance`] + [`Execution`]
+//!   (where the schedule's worker ids live: the physical platform, or an
+//!   expanded multi-round replication of it);
 //! * [`registry()`] — every built-in strategy as a trait object, so new
 //!   strategies (multi-round, tree platforms, interleaved masters) plug in
-//!   as one file instead of a cross-crate surgery.
+//!   as one file instead of a cross-crate surgery;
+//! * [`SchedulerProvider`] / [`register_provider`] — the
+//!   parameterized-scheduler story: crates *above* `dls-core` (e.g.
+//!   `dls-rounds`) contribute constructor-configured strategies to
+//!   [`registry()`] and resolve parameterized ids such as
+//!   `multiround_lp@8` through [`lookup`].
 //!
 //! The original free functions remain the implementation; the engine types
 //! are thin adapters over them.
@@ -26,6 +34,9 @@
 //! }
 //! ```
 
+use std::sync::{Arc, OnceLock, RwLock};
+
+use dls_lp::Rational;
 use dls_platform::Platform;
 
 use crate::error::CoreError;
@@ -54,10 +65,36 @@ pub enum Provenance {
     },
 }
 
+/// Where a [`Solution`]'s schedule executes: the worker-id space its
+/// `Schedule` refers to.
+///
+/// One-round strategies schedule the physical platform directly. Multi-round
+/// strategies (see the `dls-rounds` crate) lower an installment plan onto an
+/// *expanded* virtual platform — `rounds` round-major copies of the physical
+/// worker set, virtual id `r·p + j` being round `r`'s installment for
+/// physical worker `j` — so the existing timeline/simulator machinery
+/// replays the plan unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Execution {
+    /// Schedule worker ids are physical platform ids (a one-round plan).
+    Direct,
+    /// The schedule lives on `platform`, a `rounds`-fold round-major
+    /// replication of the physical platform.
+    Rounds {
+        /// The expanded virtual platform the schedule's ids refer to.
+        platform: Platform,
+        /// Number of installment rounds (`platform` has `rounds · p`
+        /// workers for a physical platform of `p`).
+        rounds: usize,
+    },
+}
+
 /// The unified result every [`Scheduler`] produces.
 #[derive(Debug, Clone)]
 pub struct Solution {
-    /// The schedule (orders + loads) to execute.
+    /// The schedule (orders + loads) to execute — on the physical platform
+    /// for [`Execution::Direct`], on the expanded virtual platform for
+    /// [`Execution::Rounds`].
     pub schedule: Schedule,
     /// Normalized throughput: load processed per unit of horizon when this
     /// schedule is executed on the platform it was solved for (`T = 1`
@@ -68,6 +105,9 @@ pub struct Solution {
     pub throughput: f64,
     /// How the solution was computed.
     pub provenance: Provenance,
+    /// The worker-id space the schedule refers to (physical platform or a
+    /// multi-round expansion of it).
+    pub execution: Execution,
 }
 
 impl Solution {
@@ -81,6 +121,7 @@ impl Solution {
                 iterations: lp.iterations,
                 warm_start: lp.warm_start,
             },
+            execution: Execution::Direct,
         }
     }
 
@@ -92,16 +133,53 @@ impl Solution {
             schedule,
             throughput,
             provenance: Provenance::ClosedForm,
+            execution: Execution::Direct,
+        }
+    }
+
+    /// The platform this solution's schedule must be timed/simulated on:
+    /// `physical` itself for [`Execution::Direct`], the stored expanded
+    /// platform for [`Execution::Rounds`].
+    pub fn execution_platform<'a>(&'a self, physical: &'a Platform) -> &'a Platform {
+        match &self.execution {
+            Execution::Direct => physical,
+            Execution::Rounds { platform, .. } => platform,
+        }
+    }
+
+    /// Number of installment rounds (1 for one-round solutions).
+    pub fn rounds(&self) -> usize {
+        match &self.execution {
+            Execution::Direct => 1,
+            Execution::Rounds { rounds, .. } => *rounds,
+        }
+    }
+
+    /// Number of *physical* workers that process load: participants of a
+    /// direct schedule, distinct `id mod p` of an expanded one.
+    pub fn enrolled_workers(&self, physical: &Platform) -> usize {
+        let p = physical.num_workers();
+        match &self.execution {
+            Execution::Direct => self.schedule.participants().len(),
+            Execution::Rounds { .. } => {
+                let mut seen = vec![false; p];
+                for id in self.schedule.participants() {
+                    seen[id.index() % p] = true;
+                }
+                seen.iter().filter(|s| **s).count()
+            }
         }
     }
 
     /// Builds and verifies the earliest-feasible one-port timeline of this
-    /// solution; `Err` carries the violation list.
+    /// solution on its [`execution platform`](Solution::execution_platform);
+    /// `Err` carries the violation list.
     pub fn verified_timeline(
         &self,
         platform: &Platform,
         tol: f64,
     ) -> Result<Timeline, Vec<String>> {
+        let platform = self.execution_platform(platform);
         let t = Timeline::build(platform, &self.schedule, PortModel::OnePort);
         let violations = t.verify(platform, &self.schedule, tol);
         if violations.is_empty() {
@@ -110,6 +188,17 @@ impl Solution {
             Err(violations)
         }
     }
+}
+
+/// Exact-rational certificate of a strategy's chosen scenario: the optimal
+/// objective and loads of the scenario LP solved with [`Rational`]
+/// arithmetic (no floating point anywhere in the pivot path).
+#[derive(Debug, Clone)]
+pub struct ExactSolution {
+    /// Exact optimal throughput of the scenario the strategy selected.
+    pub throughput: Rational,
+    /// Exact loads, indexed by the execution platform's worker ids.
+    pub loads: Vec<Rational>,
 }
 
 /// A scheduling strategy: anything that maps a [`Platform`] to a
@@ -129,6 +218,74 @@ pub trait Scheduler: Send + Sync {
     /// [`CoreError::NotABus`] from the Theorem 2 closed form on a star, or
     /// [`CoreError::TooManyWorkers`] from exhaustive search.
     fn solve(&self, platform: &Platform) -> Result<Solution, CoreError>;
+
+    /// Certifies the strategy with exact rational arithmetic: re-solves the
+    /// scenario (enrollment + `σ1`/`σ2`) the float path selected, as an
+    /// exact LP under the one-port model, on the solution's execution
+    /// platform.
+    ///
+    /// For every strategy whose reported throughput *is* its scenario's LP
+    /// optimum (the LP solvers, the closed forms, the exhaustive searches,
+    /// the multi-round LP planner) the exact objective must match
+    /// [`Solution::throughput`] to floating-point accuracy — the CI
+    /// certification in `tests/exact_registry.rs` relies on this. The
+    /// exceptions report *achieved* values below the scenario optimum: the
+    /// `no_return` baseline (loads chosen while ignoring return costs) and
+    /// the non-LP multi-round planners (uniform/geometric chunking); for
+    /// those the exact objective is an upper bound.
+    fn solve_exact(&self, platform: &Platform) -> Result<ExactSolution, CoreError> {
+        let sol = self.solve(platform)?;
+        let exec = sol.execution_platform(platform);
+        let (throughput, loads) = crate::lp_model::solve_scenario_exact::<Rational>(
+            exec,
+            sol.schedule.send_order(),
+            sol.schedule.return_order(),
+            PortModel::OnePort,
+        )?;
+        Ok(ExactSolution { throughput, loads })
+    }
+}
+
+/// A family of externally contributed, constructor-configured schedulers —
+/// the registry's extension point for crates that sit *above* `dls-core`
+/// in the dependency graph (multi-round planners today, the affine solvers
+/// next).
+///
+/// Providers are process-global: [`register_provider`] installs one (keyed
+/// by [`SchedulerProvider::group`]; re-registering a group replaces it,
+/// making installation idempotent), after which [`registry()`] lists the
+/// provider's default instances and [`lookup`] resolves its ids — including
+/// parameterized spellings such as `multiround_lp@8` that name a
+/// constructor configuration rather than a fixed instance.
+pub trait SchedulerProvider: Send + Sync {
+    /// Stable provider id (e.g. `"multiround"`); re-registering the same
+    /// group replaces the previous provider.
+    fn group(&self) -> &'static str;
+
+    /// The default instances this provider contributes to [`registry()`].
+    /// Names must be unique registry-wide.
+    fn schedulers(&self) -> Vec<Box<dyn Scheduler>>;
+
+    /// Resolves a strategy id — the default names from
+    /// [`SchedulerProvider::schedulers`] *and* any parameterized forms the
+    /// provider supports. `None` for ids this provider does not own.
+    fn resolve(&self, name: &str) -> Option<Box<dyn Scheduler>>;
+}
+
+fn providers() -> &'static RwLock<Vec<Arc<dyn SchedulerProvider>>> {
+    static PROVIDERS: OnceLock<RwLock<Vec<Arc<dyn SchedulerProvider>>>> = OnceLock::new();
+    PROVIDERS.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// Installs (or replaces, by [`SchedulerProvider::group`]) a scheduler
+/// provider; its defaults appear in every subsequent [`registry()`] call.
+pub fn register_provider(provider: Arc<dyn SchedulerProvider>) {
+    let mut ps = providers().write().expect("provider registry poisoned");
+    if let Some(slot) = ps.iter_mut().find(|p| p.group() == provider.group()) {
+        *slot = provider;
+    } else {
+        ps.push(provider);
+    }
 }
 
 macro_rules! define_scheduler {
@@ -190,6 +347,7 @@ define_scheduler!(
             schedule: sol.schedule(platform),
             throughput: sol.throughput,
             provenance: Provenance::ClosedForm,
+            execution: Execution::Direct,
         })
     }
 );
@@ -204,6 +362,7 @@ define_scheduler!(
             schedule: sol.schedule(platform),
             throughput: sol.throughput,
             provenance: Provenance::ClosedForm,
+            execution: Execution::Direct,
         })
     }
 );
@@ -218,6 +377,7 @@ define_scheduler!(
             schedule: sol.schedule(platform, &order),
             throughput: sol.throughput,
             provenance: Provenance::ClosedForm,
+            execution: Execution::Direct,
         })
     }
 );
@@ -244,6 +404,7 @@ define_scheduler!(
             provenance: Provenance::Search {
                 evaluated: res.evaluated,
             },
+            execution: Execution::Direct,
         })
     }
 );
@@ -260,14 +421,17 @@ define_scheduler!(
             provenance: Provenance::Search {
                 evaluated: res.evaluated,
             },
+            execution: Execution::Direct,
         })
     }
 );
 
 /// Every built-in strategy, in a stable order (optimal solvers first, then
-/// heuristics, then baselines and exhaustive searches).
+/// heuristics, then baselines and exhaustive searches), followed by the
+/// default instances of every installed [`SchedulerProvider`] in
+/// registration order.
 pub fn registry() -> Vec<Box<dyn Scheduler>> {
-    vec![
+    let mut reg: Vec<Box<dyn Scheduler>> = vec![
         Box::new(OptimalFifo),
         Box::new(OptimalLifo),
         Box::new(IncC),
@@ -278,12 +442,30 @@ pub fn registry() -> Vec<Box<dyn Scheduler>> {
         Box::new(NoReturn),
         Box::new(BruteFifo),
         Box::new(BruteScenario),
-    ]
+    ];
+    for provider in providers()
+        .read()
+        .expect("provider registry poisoned")
+        .iter()
+    {
+        reg.extend(provider.schedulers());
+    }
+    reg
 }
 
-/// Finds a registered strategy by its [`Scheduler::name`].
+/// Finds a strategy by its [`Scheduler::name`]: built-ins first, then each
+/// installed provider's [`SchedulerProvider::resolve`] — which also accepts
+/// parameterized ids (e.g. `multiround_lp@8`) that do not appear verbatim
+/// in [`registry()`].
 pub fn lookup(name: &str) -> Option<Box<dyn Scheduler>> {
-    registry().into_iter().find(|s| s.name() == name)
+    if let Some(s) = registry().into_iter().find(|s| s.name() == name) {
+        return Some(s);
+    }
+    providers()
+        .read()
+        .expect("provider registry poisoned")
+        .iter()
+        .find_map(|p| p.resolve(name))
 }
 
 // Engine-local invariants only: the registry round-trip on the shared
@@ -293,6 +475,7 @@ pub fn lookup(name: &str) -> Option<Box<dyn Scheduler>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dls_lp::Scalar;
 
     /// A small bus so every registered strategy applies.
     fn fixture() -> Platform {
@@ -343,5 +526,131 @@ mod tests {
         let optimistic = crate::no_return::optimal_no_return(&p).unwrap();
         // Ignoring returns overstates what the one-port execution achieves.
         assert!(engine.throughput < optimistic.throughput);
+    }
+
+    #[test]
+    fn direct_solutions_execute_on_the_physical_platform() {
+        let p = fixture();
+        let sol = lookup("optimal_fifo").unwrap().solve(&p).unwrap();
+        assert_eq!(sol.execution, Execution::Direct);
+        assert_eq!(sol.rounds(), 1);
+        assert!(std::ptr::eq(sol.execution_platform(&p), &p));
+        assert_eq!(sol.enrolled_workers(&p), sol.schedule.participants().len());
+    }
+
+    #[test]
+    fn rounds_execution_maps_virtual_ids_back_to_physical_workers() {
+        // Hand-build a 2-round solution on an expanded copy of a 2-worker
+        // platform: virtual ids {0,1,2,3} are rounds-major, so enrolling
+        // {0, 2} (both rounds of P1) is a single physical worker.
+        let p = Platform::bus(1.0, 0.5, &[2.0, 4.0]).unwrap();
+        let expanded = Platform::bus(1.0, 0.5, &[2.0, 4.0, 2.0, 4.0]).unwrap();
+        let order: Vec<dls_platform::WorkerId> = expanded.ids().collect();
+        let schedule = Schedule::fifo(&expanded, order, vec![0.25, 0.0, 0.75, 0.0]).unwrap();
+        let sol = Solution {
+            schedule,
+            throughput: 0.1,
+            provenance: Provenance::ClosedForm,
+            execution: Execution::Rounds {
+                platform: expanded.clone(),
+                rounds: 2,
+            },
+        };
+        assert_eq!(sol.rounds(), 2);
+        assert_eq!(sol.execution_platform(&p).num_workers(), 4);
+        assert_eq!(sol.enrolled_workers(&p), 1);
+        // verified_timeline must time the schedule on the expanded platform.
+        assert!(sol.verified_timeline(&p, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn solve_exact_certifies_lp_strategies_on_the_fixture() {
+        let p = fixture();
+        for name in ["optimal_fifo", "optimal_lifo", "inc_c", "bus_fifo"] {
+            let s = lookup(name).unwrap();
+            let float = s.solve(&p).unwrap().throughput;
+            let exact = s.solve_exact(&p).unwrap();
+            assert!(
+                (exact.throughput.to_f64() - float).abs() < 1e-9,
+                "{name}: exact {} vs float {float}",
+                exact.throughput.to_f64()
+            );
+            let load_sum: f64 = exact.loads.iter().map(|l| l.to_f64()).sum();
+            assert!(
+                (load_sum - float).abs() < 1e-9,
+                "{name}: loads sum {load_sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_exact_upper_bounds_the_no_return_baseline() {
+        // no_return reports the *achieved* throughput; the exact re-solve of
+        // its scenario re-optimizes the loads and can only do better.
+        let p = fixture();
+        let s = lookup("no_return").unwrap();
+        let float = s.solve(&p).unwrap().throughput;
+        let exact = s.solve_exact(&p).unwrap().throughput.to_f64();
+        assert!(
+            exact >= float - 1e-9,
+            "exact {exact} below achieved {float}"
+        );
+    }
+
+    /// A provider contributing one configurable dummy strategy, for the
+    /// registration mechanics (real providers live in `dls-rounds`).
+    struct DummyProvider;
+
+    struct DummyScheduler {
+        name: String,
+    }
+
+    impl Scheduler for DummyScheduler {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn solve(&self, platform: &Platform) -> Result<Solution, CoreError> {
+            crate::fifo::inc_c_fifo(platform).map(Solution::from_lp)
+        }
+    }
+
+    impl SchedulerProvider for DummyProvider {
+        fn group(&self) -> &'static str {
+            "engine-test-dummy"
+        }
+        fn schedulers(&self) -> Vec<Box<dyn Scheduler>> {
+            vec![Box::new(DummyScheduler {
+                name: "engine_test_dummy".into(),
+            })]
+        }
+        fn resolve(&self, name: &str) -> Option<Box<dyn Scheduler>> {
+            let rest = name.strip_prefix("engine_test_dummy")?;
+            if rest.is_empty() || rest.starts_with('@') {
+                Some(Box::new(DummyScheduler { name: name.into() }))
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn providers_extend_registry_and_resolve_parameterized_ids() {
+        register_provider(Arc::new(DummyProvider));
+        // Idempotent: a second registration replaces, not duplicates.
+        register_provider(Arc::new(DummyProvider));
+        let names: Vec<String> = registry().iter().map(|s| s.name().to_string()).collect();
+        assert_eq!(
+            names.iter().filter(|n| *n == "engine_test_dummy").count(),
+            1,
+            "provider defaults duplicated: {names:?}"
+        );
+        // Default and parameterized lookups both resolve and solve.
+        let p = fixture();
+        for id in ["engine_test_dummy", "engine_test_dummy@7"] {
+            let s = lookup(id).expect("provider id resolves");
+            assert_eq!(s.name(), id);
+            assert!(s.solve(&p).unwrap().throughput > 0.0);
+        }
+        assert!(lookup("engine_test_dummy_unknown").is_none());
     }
 }

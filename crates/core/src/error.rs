@@ -29,6 +29,15 @@ pub enum CoreError {
     /// An order contained duplicate or out-of-range worker ids, or the send
     /// and return orders enrolled different sets.
     MalformedOrder(String),
+    /// A multi-round plan asked for more installments than the expanded
+    /// virtual platform supports (the round count times the worker count is
+    /// capped to keep scenario LPs tractable).
+    TooManyRounds {
+        /// Requested installment rounds.
+        rounds: usize,
+        /// Maximum supported for this platform size.
+        limit: usize,
+    },
 }
 
 impl CoreError {
@@ -42,7 +51,10 @@ impl CoreError {
     pub fn is_applicability(&self) -> bool {
         matches!(
             self,
-            CoreError::NotABus | CoreError::NotZTied | CoreError::TooManyWorkers { .. }
+            CoreError::NotABus
+                | CoreError::NotZTied
+                | CoreError::TooManyWorkers { .. }
+                | CoreError::TooManyRounds { .. }
         )
     }
 }
@@ -61,6 +73,10 @@ impl fmt::Display for CoreError {
                 "exhaustive search limited to {limit} workers, platform has {got}"
             ),
             CoreError::MalformedOrder(msg) => write!(f, "malformed order: {msg}"),
+            CoreError::TooManyRounds { rounds, limit } => write!(
+                f,
+                "multi-round plan limited to {limit} rounds on this platform, requested {rounds}"
+            ),
         }
     }
 }
@@ -107,6 +123,11 @@ mod tests {
         assert!(CoreError::NotABus.is_applicability());
         assert!(CoreError::NotZTied.is_applicability());
         assert!(CoreError::TooManyWorkers { got: 9, limit: 8 }.is_applicability());
+        assert!(CoreError::TooManyRounds {
+            rounds: 4096,
+            limit: 512
+        }
+        .is_applicability());
         assert!(!CoreError::from(LpError::Infeasible).is_applicability());
         assert!(!CoreError::MalformedOrder("dup".into()).is_applicability());
         assert!(!CoreError::from(PlatformError::Empty).is_applicability());

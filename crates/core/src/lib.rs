@@ -61,7 +61,10 @@ pub mod rounding;
 mod schedule;
 pub mod timeline;
 
-pub use engine::{lookup, registry, Provenance, Scheduler, Solution};
+pub use engine::{
+    lookup, register_provider, registry, ExactSolution, Execution, Provenance, Scheduler,
+    SchedulerProvider, Solution,
+};
 pub use error::CoreError;
 pub use schedule::{PortModel, Schedule, LOAD_EPS};
 
@@ -75,7 +78,10 @@ pub mod prelude {
     pub use crate::chain::{chain_best_prefix, chain_best_subset, chain_fifo};
     pub use crate::closed_form::{bus_fifo, star_lifo, BusFifoSolution, BusRegime};
     pub use crate::diagnosis::{diagnose, Diagnosis};
-    pub use crate::engine::{lookup, registry, Provenance, Scheduler, Solution};
+    pub use crate::engine::{
+        lookup, register_provider, registry, ExactSolution, Execution, Provenance, Scheduler,
+        SchedulerProvider, Solution,
+    };
     pub use crate::fifo::{inc_c_fifo, inc_w_fifo, optimal_fifo, theorem1_order};
     pub use crate::lifo::optimal_lifo;
     pub use crate::lp_model::{

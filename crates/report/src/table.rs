@@ -153,17 +153,20 @@ pub fn num(v: f64, prec: usize) -> String {
 }
 
 /// Renders every strategy in [`dls_core::registry`] side by side on one
-/// platform: throughput, enrolled workers, verified makespan and solution
-/// provenance. Strategies that do not apply to the platform (e.g. the bus
-/// closed form on a star, exhaustive search past its size guard) get an
-/// explanatory `n/a` row instead of being skipped, so the table always
-/// lists the full registry.
+/// platform: throughput, enrolled workers, rounds, verified makespan and
+/// solution provenance. Strategies that do not apply to the platform (e.g.
+/// the bus closed form on a star, exhaustive search past its size guard)
+/// get an explanatory `n/a` row instead of being skipped, so the table
+/// always lists the full registry. Multi-round solutions (installed via
+/// `dls_rounds::install`) are timed on their expanded execution platform
+/// and report distinct *physical* workers in the `enrolled` column.
 pub fn strategy_table(platform: &Platform) -> Table {
     let mut t = Table::new(&[
         "strategy",
         "legend",
         "rho",
         "enrolled",
+        "rounds",
         "makespan",
         "provenance",
     ]);
@@ -193,9 +196,10 @@ pub fn strategy_table(platform: &Platform) -> Table {
                     num(sol.throughput, 6),
                     format!(
                         "{}/{}",
-                        sol.schedule.participants().len(),
+                        sol.enrolled_workers(platform),
                         platform.num_workers()
                     ),
+                    sol.rounds().to_string(),
                     makespan,
                     provenance,
                 ]);
@@ -207,10 +211,64 @@ pub fn strategy_table(platform: &Platform) -> Table {
                     "n/a".into(),
                     "-".into(),
                     "-".into(),
+                    "-".into(),
                     format!("{e}"),
                 ]);
             }
         }
+    }
+    t
+}
+
+/// The multi-round latency/throughput trade-off table: one row per
+/// installment count `R`, columns for each `multiround_*` planner's
+/// predicted makespan (unit total load) and the best planner's speedup
+/// over the one-round `optimal_fifo` makespan.
+///
+/// Resolves the parameterized ids `multiround_{uniform,geometric,lp}@R`
+/// through [`dls_core::lookup`], so the caller must have installed the
+/// multi-round provider (`dls_rounds::install()`); unresolvable or failing
+/// ids render as `n/a` rather than aborting the table.
+pub fn multiround_table(platform: &Platform, rounds: &[usize]) -> Table {
+    const PLANNERS: [(&str, &str); 3] = [
+        ("multiround_uniform", "MR_UNI"),
+        ("multiround_geometric", "MR_GEO"),
+        ("multiround_lp", "MR_LP"),
+    ];
+    let baseline = dls_core::lookup("optimal_fifo")
+        .and_then(|s| s.solve(platform).ok())
+        .map(|sol| 1.0 / sol.throughput);
+
+    let mut headers: Vec<String> = vec!["R".into()];
+    headers.extend(
+        PLANNERS
+            .iter()
+            .map(|(_, legend)| format!("{legend} makespan")),
+    );
+    headers.push("best vs OPT_FIFO".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+
+    for &r in rounds {
+        let mut cells = vec![r.to_string()];
+        let mut best: Option<f64> = None;
+        for (id, _) in PLANNERS {
+            let makespan = dls_core::lookup(&format!("{id}@{r}"))
+                .and_then(|s| s.solve(platform).ok())
+                .map(|sol| 1.0 / sol.throughput);
+            match makespan {
+                Some(m) => {
+                    best = Some(best.map_or(m, |b: f64| b.min(m)));
+                    cells.push(num(m, 6));
+                }
+                None => cells.push("n/a".into()),
+            }
+        }
+        cells.push(match (best, baseline) {
+            (Some(m), Some(b)) => format!("{}x", num(b / m, 4)),
+            _ => "-".into(),
+        });
+        t.row(&cells);
     }
     t
 }
@@ -266,6 +324,10 @@ mod tests {
 
     #[test]
     fn strategy_table_lists_whole_registry_on_a_bus() {
+        // Install the multi-round provider so the registry contents (and
+        // therefore the expected row count) are deterministic regardless of
+        // test execution order within this binary.
+        dls_rounds::install();
         let p = Platform::bus(1.0, 0.5, &[3.0, 5.0, 4.0]).unwrap();
         let t = strategy_table(&p);
         assert_eq!(t.num_rows(), dls_core::registry().len());
@@ -275,17 +337,56 @@ mod tests {
         assert!(rendered.contains("optimal_fifo"));
         assert!(rendered.contains("closed form"));
         assert!(rendered.contains("pivots"));
+        // Multi-round rows report their installed round count.
+        assert!(
+            rendered.contains("multiround_lp"),
+            "missing multiround rows"
+        );
     }
 
     #[test]
     fn strategy_table_reports_inapplicable_strategies() {
         // A star: the Theorem 2 bus closed form must row out as n/a rather
         // than vanish.
+        dls_rounds::install();
         let p = Platform::star_with_z(&[(1.0, 2.0), (2.0, 1.0)], 0.5).unwrap();
         let t = strategy_table(&p);
         assert_eq!(t.num_rows(), dls_core::registry().len());
         let rendered = t.render();
         assert!(rendered.contains("n/a"));
         assert!(rendered.contains("bus"));
+    }
+
+    #[test]
+    fn multiround_table_rows_per_round_count() {
+        dls_rounds::install();
+        let p = Platform::star_with_z(&[(1.0, 5.0), (2.0, 4.0), (1.5, 6.0)], 0.5).unwrap();
+        let t = multiround_table(&p, &[1, 2, 4]);
+        assert_eq!(t.num_rows(), 3);
+        let rendered = t.render();
+        assert!(rendered.contains("MR_LP"));
+        assert!(rendered.contains("best vs OPT_FIFO"));
+        assert!(!rendered.contains("n/a"), "planners failed:\n{rendered}");
+        // R = 1 reduces to optimal_fifo: speedup exactly 1.0000x.
+        let r1 = rendered.lines().nth(2).expect("R = 1 row");
+        assert!(r1.trim_end().ends_with("1.0000x"), "R = 1 row: {r1}");
+    }
+
+    #[test]
+    fn multiround_table_degrades_failing_rounds_to_na_cells() {
+        // A round count past the expanded-platform cap makes every planner
+        // error (CoreError::TooManyRounds): the row must render n/a cells
+        // and a "-" speedup instead of aborting — the same path an
+        // uninstalled provider (lookup -> None) takes.
+        dls_rounds::install();
+        let p = Platform::star_with_z(&[(1.0, 2.0), (2.0, 1.0)], 0.5).unwrap();
+        let t = multiround_table(&p, &[1, 1_000_000]);
+        assert_eq!(t.num_rows(), 2);
+        let rendered = t.render();
+        let bad_row = rendered.lines().nth(3).expect("overflow row");
+        assert_eq!(bad_row.matches("n/a").count(), 3, "row: {bad_row}");
+        assert!(bad_row.trim_end().ends_with('-'), "row: {bad_row}");
+        let good_row = rendered.lines().nth(2).expect("R = 1 row");
+        assert!(!good_row.contains("n/a"), "row: {good_row}");
     }
 }

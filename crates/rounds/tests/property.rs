@@ -1,0 +1,83 @@
+//! Property tests of the installment planners on random star platforms:
+//! the geometric planner's budget monotonicity, the unit-total invariant
+//! of every `RoundPlan`, and feasibility of every lowered schedule.
+
+use dls_platform::Platform;
+use dls_rounds::{plan_geometric, plan_lp, plan_uniform, RoundPlan};
+use proptest::prelude::*;
+
+fn cost() -> impl Strategy<Value = f64> {
+    (1u32..=40).prop_map(|v| v as f64 / 4.0)
+}
+
+/// Random `z`-tied stars of 2..=6 workers (z in {0.25, 0.5, 0.8}).
+fn platform() -> impl Strategy<Value = Platform> {
+    (2usize..=6).prop_flat_map(|n| {
+        (
+            prop::collection::vec((cost(), cost()), n..=n),
+            prop_oneof![Just(0.25), Just(0.5), Just(0.8)],
+        )
+            .prop_map(|(cw, z)| Platform::star_with_z(&cw, z).expect("valid costs"))
+    })
+}
+
+fn assert_unit_total(plan: &RoundPlan, label: &str) {
+    let total: f64 = plan.fractions().iter().flatten().sum();
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "{label}: fractions sum to {total}, expected 1"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn geometric_makespan_is_monotone_non_increasing_in_rounds(p in platform()) {
+        let mut prev = f64::INFINITY;
+        for r in 1..=6 {
+            let g = plan_geometric(&p, r).expect("geometric planner");
+            let m = g.plan.predicted_makespan();
+            prop_assert!(
+                m <= prev + 1e-12,
+                "makespan increased at R = {}: {} > {}", r, m, prev
+            );
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn every_plan_sums_to_one_and_verifies((p, r) in (platform(), 1usize..=5)) {
+        let uniform = plan_uniform(&p, r).expect("uniform planner").plan;
+        assert_unit_total(&uniform, "uniform");
+        prop_assert!(uniform.verify(&p, 1e-7).unwrap().is_empty());
+
+        let geometric = plan_geometric(&p, r).expect("geometric planner").plan;
+        assert_unit_total(&geometric, "geometric");
+        prop_assert!(geometric.verify(&p, 1e-7).unwrap().is_empty());
+
+        let lp = plan_lp(&p, r).expect("lp planner").plan;
+        assert_unit_total(&lp, "lp");
+        prop_assert!(lp.verify(&p, 1e-7).unwrap().is_empty());
+
+        // The LP planner is the scenario optimum for its round pattern:
+        // it cannot lose to the heuristic chunkings at the same budget.
+        prop_assert!(
+            lp.predicted_makespan() <= uniform.predicted_makespan() + 1e-7,
+            "LP {} lost to uniform {}", lp.predicted_makespan(), uniform.predicted_makespan()
+        );
+    }
+
+    #[test]
+    fn uniform_spans_exactly_r_rounds((p, r) in (platform(), 1usize..=5)) {
+        let plan = plan_uniform(&p, r).expect("uniform planner").plan;
+        prop_assert_eq!(plan.rounds(), r);
+        // Every round carries the same per-worker fraction.
+        for id in p.ids() {
+            let first = plan.fraction(0, id);
+            for round in 1..r {
+                prop_assert!((plan.fraction(round, id) - first).abs() < 1e-12);
+            }
+        }
+    }
+}

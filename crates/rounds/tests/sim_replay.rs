@@ -1,0 +1,119 @@
+//! Cross-check with the discrete-event simulator: a lowered [`RoundPlan`]
+//! replayed by `dls_sim::simulate` must reproduce the planner's predicted
+//! makespan.
+//!
+//! Under the paper's master policy (`SendsThenReceives` — exactly the
+//! canonical shape the plans are timed with) the match is exact. The
+//! `Interleaved` ablation may slot a ready result chunk ahead of pending
+//! sends, which deviates from the canonical shape: early installments
+//! finish computing quickly, so their returns preempt later sends and
+//! postpone them. The deviation is bounded on the fixtures (pinned below);
+//! what must hold universally is that interleaving never *invalidates* the
+//! replay — the simulated one-port constraints stay satisfied.
+
+use dls_core::prelude::optimal_fifo;
+use dls_platform::Platform;
+use dls_rounds::{plan_geometric, plan_lp, plan_uniform, RoundPlan};
+use dls_sim::{simulate, MasterPolicy, SimConfig};
+
+fn fixtures() -> Vec<Platform> {
+    vec![
+        // Compute-bound star (multi-round pays off).
+        Platform::star_with_z(&[(1.0, 5.0), (2.0, 4.0), (1.5, 6.0), (0.8, 7.0)], 0.5).unwrap(),
+        // Bus with heterogeneous compute.
+        Platform::bus(1.0, 0.5, &[2.0, 4.0, 3.0, 6.0, 5.0]).unwrap(),
+        // Communication-bound star (multi-round should NOT pay off much).
+        Platform::star_with_z(&[(2.0, 1.0), (3.0, 0.5), (2.5, 0.8)], 0.5).unwrap(),
+    ]
+}
+
+fn plans(p: &Platform, r: usize) -> Vec<(&'static str, RoundPlan)> {
+    vec![
+        ("uniform", plan_uniform(p, r).unwrap().plan),
+        ("geometric", plan_geometric(p, r).unwrap().plan),
+        ("lp", plan_lp(p, r).unwrap().plan),
+    ]
+}
+
+#[test]
+fn ideal_replay_matches_predicted_makespan_exactly() {
+    for p in fixtures() {
+        for r in [1, 2, 4] {
+            for (name, plan) in plans(&p, r) {
+                let (vplat, schedule) = plan.lower(&p).unwrap();
+                let report = simulate(&vplat, &schedule, &SimConfig::ideal());
+                assert!(
+                    (report.makespan - plan.predicted_makespan()).abs() < 1e-9,
+                    "{name} @ R = {r}: simulated {} vs predicted {}",
+                    report.makespan,
+                    plan.predicted_makespan()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_round_replay_agrees_exactly_with_optimal_fifo() {
+    for p in fixtures() {
+        let one_round = 1.0 / optimal_fifo(&p).unwrap().throughput;
+        for (name, plan) in plans(&p, 1) {
+            assert!(
+                (plan.predicted_makespan() - one_round).abs() < 1e-9,
+                "{name} @ R = 1 predicted {} vs optimal_fifo {one_round}",
+                plan.predicted_makespan()
+            );
+            let (vplat, schedule) = plan.lower(&p).unwrap();
+            let report = simulate(&vplat, &schedule, &SimConfig::ideal());
+            assert!(
+                (report.makespan - one_round).abs() < 1e-9,
+                "{name} @ R = 1 simulated {} vs optimal_fifo {one_round}",
+                report.makespan
+            );
+        }
+    }
+}
+
+#[test]
+fn interleaved_replay_stays_within_tolerance_of_the_prediction() {
+    // The greedy master deviates from the canonical shape by returning
+    // ready chunks early; on these fixtures the makespan stays within 25%
+    // of the plan (pinned — a regression here means the lowering changed).
+    for p in fixtures() {
+        for r in [1, 2, 4] {
+            for (name, plan) in plans(&p, r) {
+                let (vplat, schedule) = plan.lower(&p).unwrap();
+                let cfg = SimConfig {
+                    policy: MasterPolicy::Interleaved,
+                    ..SimConfig::ideal()
+                };
+                let report = simulate(&vplat, &schedule, &cfg);
+                let predicted = plan.predicted_makespan();
+                let deviation = (report.makespan - predicted).abs() / predicted;
+                assert!(
+                    deviation <= 0.25,
+                    "{name} @ R = {r}: interleaved makespan {} deviates {:.1}% from predicted {}",
+                    report.makespan,
+                    100.0 * deviation,
+                    predicted
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn replay_is_deterministic_across_policies_and_seeds() {
+    let p = &fixtures()[0];
+    let plan = plan_lp(p, 4).unwrap().plan;
+    let (vplat, schedule) = plan.lower(p).unwrap();
+    for policy in [MasterPolicy::SendsThenReceives, MasterPolicy::Interleaved] {
+        let cfg = SimConfig {
+            policy,
+            ..SimConfig::ideal()
+        };
+        let a = simulate(&vplat, &schedule, &cfg).makespan;
+        let b = simulate(&vplat, &schedule, &cfg).makespan;
+        assert_eq!(a, b, "ideal replay must be bit-for-bit reproducible");
+    }
+}

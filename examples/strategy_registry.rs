@@ -14,8 +14,17 @@ fn main() {
     let ws: Vec<f64> = (0..p).map(|i| 2.0 + ((i * 7) % 5) as f64).collect();
     let platform = Platform::bus(1.0, 0.5, &ws).expect("valid bus");
 
+    // Add the provider-contributed multi-round strategies to the registry.
+    dls::rounds::install();
+
     println!("{p}-worker bus, c = 1, d = 0.5 (z = 1/2), w = {ws:?}\n");
     println!("{}", strategy_table(&platform).render());
+
+    println!("multi-round trade-off (unit load, makespan vs installments R):\n");
+    println!(
+        "{}",
+        dls::report::multiround_table(&platform, &[1, 2, 4, 8]).render()
+    );
 
     // The same registry, programmatically: find the best verified strategy.
     let best = dls::core::registry()

@@ -11,6 +11,9 @@
 //!   application model;
 //! * [`core`] — the paper's algorithms: scenario LPs, optimal FIFO/LIFO,
 //!   Theorem 2 closed forms, brute-force ground truth, rounding;
+//! * [`rounds`] — the multi-round (R-installment) planners; call
+//!   [`rounds::install`] to add the `multiround_*` strategies to
+//!   [`core::registry`];
 //! * [`sim`] — the discrete-event star-network simulator (MPI-testbed
 //!   substitute);
 //! * [`report`] — tables, statistics, series files, parallel map.
@@ -37,6 +40,7 @@ pub use dls_core as core;
 pub use dls_lp as lp;
 pub use dls_platform as platform;
 pub use dls_report as report;
+pub use dls_rounds as rounds;
 pub use dls_sim as sim;
 
 /// One-import access to the items used by almost every program: the whole

@@ -1,0 +1,87 @@
+//! Engine-level exact-rational certification (ROADMAP item): every
+//! one-round registry strategy, driven through `Scheduler::solve_exact`,
+//! must be certified against the exact rational optimum of the scenario it
+//! selects on a small fixture — no floating point anywhere in the exact
+//! pivot path.
+//!
+//! The certification contract (documented on `Scheduler::solve_exact`):
+//! strategies whose reported throughput *is* their scenario's LP optimum
+//! must match the exact objective to fp accuracy; the `no_return` baseline
+//! reports an achieved value, for which the exact objective is an upper
+//! bound.
+
+use dls::core::prelude::*;
+use dls::lp::Scalar;
+use dls::platform::Platform;
+
+/// 4-worker bus: small enough for both exhaustive searches (4!² scenario
+/// LPs), bus-shaped so the Theorem 2 closed form applies — every built-in
+/// strategy solves it.
+fn fixture() -> Platform {
+    Platform::bus(1.0, 0.5, &[2.0, 4.0, 3.0, 6.0]).unwrap()
+}
+
+#[test]
+fn every_one_round_registry_strategy_is_certified_against_exact_rationals() {
+    let p = fixture();
+    for s in dls::core::registry() {
+        let sol = s
+            .solve(&p)
+            .unwrap_or_else(|e| panic!("{} failed on the fixture: {e}", s.name()));
+        let exact = s
+            .solve_exact(&p)
+            .unwrap_or_else(|e| panic!("{} failed the exact pass: {e}", s.name()));
+        let exact_rho = exact.throughput.to_f64();
+        if s.name() == "no_return" {
+            // Achieved throughput; the exact scenario optimum re-optimizes
+            // the loads and can only do better.
+            assert!(
+                exact_rho >= sol.throughput - 1e-9,
+                "no_return: exact {exact_rho} below achieved {}",
+                sol.throughput
+            );
+        } else {
+            assert!(
+                (exact_rho - sol.throughput).abs() < 1e-9,
+                "{}: float {} not certified by exact {exact_rho}",
+                s.name(),
+                sol.throughput
+            );
+        }
+        // Exact loads are a consistent primal point: they sum to the exact
+        // objective (the LP's objective is the load total).
+        let load_sum: f64 = exact.loads.iter().map(|l| l.to_f64()).sum();
+        assert!(
+            (load_sum - exact_rho).abs() < 1e-9,
+            "{}: exact loads sum {load_sum} vs objective {exact_rho}",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn exact_pass_agrees_with_the_direct_exact_lp_for_optimal_fifo() {
+    // Cross-check the engine path against the raw lp_model exact API.
+    let p = fixture();
+    let s = dls::core::lookup("optimal_fifo").unwrap();
+    let via_engine = s.solve_exact(&p).unwrap();
+    let order = p.order_by_c();
+    let (rho, loads) = dls::core::lp_model::solve_scenario_exact::<dls::lp::Rational>(
+        &p,
+        &order,
+        &order,
+        PortModel::OnePort,
+    )
+    .unwrap();
+    assert_eq!(via_engine.throughput, rho);
+    assert_eq!(via_engine.loads, loads);
+}
+
+#[test]
+fn exact_pass_propagates_applicability_errors() {
+    // A star: the bus closed form cannot select a scenario, so the exact
+    // pass reports the same applicability error as solve().
+    let p = Platform::star_with_z(&[(1.0, 2.0), (2.0, 1.0)], 0.5).unwrap();
+    let s = dls::core::lookup("bus_fifo").unwrap();
+    assert_eq!(s.solve_exact(&p).unwrap_err(), CoreError::NotABus);
+}
