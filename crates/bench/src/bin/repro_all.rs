@@ -3,11 +3,13 @@
 //!
 //! Usage: `repro_all [--quick] [--out <dir>]` (default out dir: `results`).
 
-use dls_bench::figures::sweep::{r_sweep_variant, run_r_sweep};
+use dls_bench::figures::sweep::{
+    depth_sweep_variant, r_sweep_variant, run_depth_sweep, run_r_sweep,
+};
 use dls_bench::figures::{fig08, fig09, fig10_13, fig14};
 use dls_bench::SweepConfig;
 use dls_platform::{ClusterModel, MatrixApp, PlatformSampler};
-use dls_report::{multiround_table, write_dat, write_text, Series};
+use dls_report::{multiround_table, tree_table, write_dat, write_text, Series};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
@@ -152,6 +154,74 @@ fn main() {
             &format!(
                 "makespan vs R, gdsdmi n = 200 sample platform\n\n{}",
                 mr_table.render()
+            ),
+        )
+        .expect("txt");
+    }
+
+    // --- Tree-platform trade-off (beyond the paper; ROADMAP's tree item).
+    // Averaged depth sweep over the heterogeneous-star family at the
+    // paper-scale size, plus the trade-off table on one concrete platform.
+    dls_tree::install();
+    {
+        let started = Instant::now();
+        let d_res = run_depth_sweep(&cfg, &depth_sweep_variant());
+        println!(
+            "{} — n = {}, {} platforms, makespans normalized by flat-star {} (mean {:.3} s)\n",
+            d_res.label, d_res.n, cfg.platforms, d_res.baseline, d_res.baseline_makespan
+        );
+        let d_table = d_res.table();
+        println!("{}", d_table.render());
+        for row in &d_res.rows {
+            for skip in &row.skipped {
+                println!(
+                    "  note: fanout = {}: {} ({}) skipped on {} platform(s): {}",
+                    row.fanout, skip.id, skip.legend, skip.platforms, skip.reason
+                );
+            }
+        }
+        println!("(tree depth sweep in {:.1?})\n", started.elapsed());
+        let xs: Vec<f64> = d_res.rows.iter().map(|r| r.depth as f64).collect();
+        let series: Vec<Series> = d_res
+            .rows
+            .first()
+            .map(|first| {
+                first
+                    .ratios
+                    .iter()
+                    .enumerate()
+                    .map(|(k, (name, _))| {
+                        Series::new(
+                            name.clone(),
+                            d_res.rows.iter().map(|r| r.ratios[k].1).collect(),
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        write_dat(&out.join("tree_depth_sweep.dat"), "depth", &xs, &series).expect("dat");
+        write_text(
+            &out.join("tree_depth_sweep.txt"),
+            &format!("{}\n\n{}", d_res.label, d_table.render()),
+        )
+        .expect("txt");
+        write_text(&out.join("tree_depth_sweep.csv"), &d_table.to_csv()).expect("csv");
+
+        // One concrete paper-scale platform for the absolute table.
+        let mut rng = StdRng::seed_from_u64(0xF16B0);
+        let platform = PlatformSampler::hetero_star().sample(
+            &MatrixApp::new(200),
+            &ClusterModel::gdsdmi(),
+            &mut rng,
+        );
+        let t_table = tree_table(&platform, &[platform.num_workers(), 3, 2, 1]);
+        println!("makespan vs depth on one paper-scale platform (n = 200, unit load):\n");
+        println!("{}", t_table.render());
+        write_text(
+            &out.join("tree_platform.txt"),
+            &format!(
+                "makespan vs balanced-tree depth, gdsdmi n = 200 sample platform\n\n{}",
+                t_table.render()
             ),
         )
         .expect("txt");

@@ -51,9 +51,10 @@ pub struct SweepVariant {
 
 impl SweepVariant {
     /// Resolves the configured ids against the scheduler registry
-    /// (installing the multi-round provider first, so `multiround_*` ids —
-    /// including parameterized ones like `multiround_lp@8` — are always
-    /// resolvable from sweep configuration).
+    /// (installing the multi-round, tree and affine providers first, so
+    /// `multiround_*`, `tree_*` and `affine_*` ids — including
+    /// parameterized ones like `multiround_lp@8` or `tree_fifo@3` — are
+    /// always resolvable from sweep configuration).
     ///
     /// # Panics
     /// Panics on an id absent from [`dls_core::registry`] — a sweep over a
@@ -61,6 +62,8 @@ impl SweepVariant {
     /// condition.
     pub fn resolve_schedulers(&self) -> Vec<Box<dyn Scheduler>> {
         dls_rounds::install();
+        dls_tree::install();
+        dls_core::affine::install();
         assert!(
             !self.schedulers.is_empty(),
             "sweep variant '{}' names no schedulers",
@@ -414,6 +417,161 @@ pub fn run_sweep(cfg: &SweepConfig, variant: &SweepVariant) -> SweepResult {
 // Multi-round R-sweep: the latency/throughput trade-off axis.
 // ---------------------------------------------------------------------------
 
+/// One row of a parameterized-axis sweep: the axis value plus each
+/// strategy's mean makespan ratio and skip records.
+struct AxisRow {
+    axis: usize,
+    ratios: Vec<(String, f64)>,
+    skipped: Vec<SkippedStrategy>,
+}
+
+/// Result of the shared axis-sweep core.
+struct AxisSweep {
+    n: usize,
+    baseline_legend: String,
+    baseline_makespan: f64,
+    rows: Vec<AxisRow>,
+}
+
+/// Shared core of [`run_r_sweep`] and [`run_depth_sweep`]: both sweep a
+/// family of `<id>@<axis>` parameterized strategies over `cfg.platforms`
+/// sampled platforms at the paper-scale matrix size (the last entry of
+/// `cfg.sizes`) and normalize each cell's predicted makespan by a
+/// reference strategy's, per platform — only the meaning of the axis
+/// (installment count vs balanced-tree fanout) differs. `axis_name`
+/// labels the axis in panic messages.
+///
+/// # Panics
+/// Like [`run_sweep`]: the baseline must solve every platform, and
+/// non-applicability strategy errors abort loudly; applicability errors
+/// are recorded per row.
+fn run_axis_sweep(
+    cfg: &SweepConfig,
+    label: &str,
+    axis_name: &str,
+    sampler: &PlatformSampler,
+    axis: &[usize],
+    base_ids: &[String],
+    baseline_id: &str,
+) -> AxisSweep {
+    let cluster = ClusterModel::gdsdmi();
+    let n = *cfg.sizes.last().expect("sweep config has sizes");
+    let app = MatrixApp::new(n);
+    let baseline = dls_core::lookup(baseline_id)
+        .unwrap_or_else(|| panic!("unknown baseline id '{baseline_id}' in '{label}'"));
+
+    // Stable column legends come from the strategies' *default* instances
+    // (the per-row instances carry `@<axis>` suffixes).
+    let columns: Vec<String> = base_ids
+        .iter()
+        .map(|id| {
+            dls_core::lookup(id)
+                .unwrap_or_else(|| panic!("unknown strategy '{id}' in '{label}'"))
+                .legend()
+                .to_string()
+        })
+        .collect();
+
+    // Full parameterized id per (axis value, strategy) cell, resolved once.
+    let cells: Vec<(usize, String, Box<dyn Scheduler>)> = axis
+        .iter()
+        .flat_map(|&a| {
+            base_ids.iter().map(move |id| {
+                let full = format!("{id}@{a}");
+                let s = dls_core::lookup(&full)
+                    .unwrap_or_else(|| panic!("unknown strategy '{full}' in '{label}'"));
+                (a, full, s)
+            })
+        })
+        .collect();
+
+    let factor_sets: Vec<(Vec<f64>, Vec<f64>)> = (0..cfg.platforms)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(cfg.base_seed.wrapping_add(i as u64));
+            sampler.sample_factors(&mut rng)
+        })
+        .collect();
+
+    let engine = dls_core::lp_model::current_engine();
+    let evaluated: Vec<(f64, Vec<Result<f64, String>>)> = par_map(&factor_sets, |(comm, comp)| {
+        dls_core::lp_model::with_engine(engine, || {
+            let platform = cluster
+                .platform(&app, comm, comp)
+                .expect("sampled factors valid");
+            let base = baseline
+                .solve(&platform)
+                .unwrap_or_else(|e| panic!("'{label}': baseline '{baseline_id}' failed: {e}"));
+            let base_makespan = 1.0 / base.throughput;
+            let outcomes = cells
+                .iter()
+                .map(|(a, full, s)| match s.solve(&platform) {
+                    Ok(sol) => Ok((1.0 / sol.throughput) / base_makespan),
+                    Err(e) if e.is_applicability() => Err(e.to_string()),
+                    Err(e) => panic!(
+                        "'{label}': strategy '{full}' hit a non-applicability error at \
+                         {axis_name} = {a} (a solver bug, not a platform mismatch): {e}"
+                    ),
+                })
+                .collect();
+            (base_makespan, outcomes)
+        })
+    });
+
+    let baseline_makespan =
+        mean(&evaluated.iter().map(|(m, _)| *m).collect::<Vec<_>>()) * cfg.total_units as f64;
+
+    let mut rows = Vec::with_capacity(axis.len());
+    for &a in axis {
+        let mut ratios = Vec::new();
+        let mut skipped = Vec::new();
+        let mut col = 0;
+        for (ci, (ca, full, s)) in cells.iter().enumerate() {
+            if *ca != a {
+                continue;
+            }
+            let solved: Vec<f64> = evaluated
+                .iter()
+                .filter_map(|(_, o)| o[ci].as_ref().ok().copied())
+                .collect();
+            let failures = evaluated.len() - solved.len();
+            if failures > 0 {
+                let reason = evaluated
+                    .iter()
+                    .find_map(|(_, o)| o[ci].as_ref().err().cloned())
+                    .expect("failures counted above");
+                skipped.push(SkippedStrategy {
+                    id: full.clone(),
+                    legend: s.legend().to_string(),
+                    platforms: failures,
+                    reason,
+                });
+            }
+            let value = if solved.is_empty() {
+                f64::NAN
+            } else {
+                mean(&solved)
+            };
+            ratios.push((
+                format!("{} mk/{} mk", columns[col], baseline.legend()),
+                value,
+            ));
+            col += 1;
+        }
+        rows.push(AxisRow {
+            axis: a,
+            ratios,
+            skipped,
+        });
+    }
+
+    AxisSweep {
+        n,
+        baseline_legend: baseline.legend().to_string(),
+        baseline_makespan,
+        rows,
+    }
+}
+
 /// Configuration of the multi-round R-sweep: which installment counts and
 /// planner families to compare, against which one-round baseline.
 #[derive(Debug, Clone)]
@@ -510,128 +668,162 @@ impl RSweepResult {
 /// recorded in [`RSweepRow::skipped`].
 pub fn run_r_sweep(cfg: &SweepConfig, variant: &RSweepVariant) -> RSweepResult {
     dls_rounds::install();
-    let cluster = ClusterModel::gdsdmi();
-    let n = *cfg.sizes.last().expect("sweep config has sizes");
-    let app = MatrixApp::new(n);
-    let baseline =
-        dls_core::lookup(&variant.baseline).expect("unknown baseline id in R-sweep variant");
-
-    // Stable column legends come from the planners' *default* instances
-    // (the per-row instances carry `@R` suffixes).
-    let columns: Vec<String> = variant
-        .planners
-        .iter()
-        .map(|id| {
-            dls_core::lookup(id)
-                .unwrap_or_else(|| panic!("unknown planner '{id}' in R-sweep variant"))
-                .legend()
-                .to_string()
-        })
-        .collect();
-
-    // Full parameterized id per (R, planner) cell, resolved once.
-    let cells: Vec<(usize, String, Box<dyn Scheduler>)> = variant
-        .rounds
-        .iter()
-        .flat_map(|&r| {
-            variant.planners.iter().map(move |id| {
-                let full = format!("{id}@{r}");
-                let s = dls_core::lookup(&full)
-                    .unwrap_or_else(|| panic!("unknown planner '{full}' in R-sweep variant"));
-                (r, full, s)
-            })
-        })
-        .collect();
-
-    let factor_sets: Vec<(Vec<f64>, Vec<f64>)> = (0..cfg.platforms)
-        .map(|i| {
-            let mut rng = StdRng::seed_from_u64(cfg.base_seed.wrapping_add(i as u64));
-            variant.sampler.sample_factors(&mut rng)
-        })
-        .collect();
-
-    let engine = dls_core::lp_model::current_engine();
-    let evaluated: Vec<(f64, Vec<Result<f64, String>>)> = par_map(&factor_sets, |(comm, comp)| {
-        dls_core::lp_model::with_engine(engine, || {
-            let platform = cluster
-                .platform(&app, comm, comp)
-                .expect("sampled factors valid");
-            let base = baseline.solve(&platform).unwrap_or_else(|e| {
-                panic!(
-                    "R-sweep '{}': baseline '{}' failed: {e}",
-                    variant.label, variant.baseline
-                )
-            });
-            let base_makespan = 1.0 / base.throughput;
-            let outcomes = cells
-                .iter()
-                .map(|(r, full, s)| match s.solve(&platform) {
-                    Ok(sol) => Ok((1.0 / sol.throughput) / base_makespan),
-                    Err(e) if e.is_applicability() => Err(e.to_string()),
-                    Err(e) => panic!(
-                        "R-sweep '{}': planner '{full}' hit a non-applicability error at \
-                         R = {r} (a solver bug, not a platform mismatch): {e}",
-                        variant.label
-                    ),
-                })
-                .collect();
-            (base_makespan, outcomes)
-        })
-    });
-
-    let baseline_makespan =
-        mean(&evaluated.iter().map(|(m, _)| *m).collect::<Vec<_>>()) * cfg.total_units as f64;
-
-    let mut rows = Vec::with_capacity(variant.rounds.len());
-    for &r in &variant.rounds {
-        let mut ratios = Vec::new();
-        let mut skipped = Vec::new();
-        let mut col = 0;
-        for (ci, (cr, full, s)) in cells.iter().enumerate() {
-            if *cr != r {
-                continue;
-            }
-            let solved: Vec<f64> = evaluated
-                .iter()
-                .filter_map(|(_, o)| o[ci].as_ref().ok().copied())
-                .collect();
-            let failures = evaluated.len() - solved.len();
-            if failures > 0 {
-                let reason = evaluated
-                    .iter()
-                    .find_map(|(_, o)| o[ci].as_ref().err().cloned())
-                    .expect("failures counted above");
-                skipped.push(SkippedStrategy {
-                    id: full.clone(),
-                    legend: s.legend().to_string(),
-                    platforms: failures,
-                    reason,
-                });
-            }
-            let value = if solved.is_empty() {
-                f64::NAN
-            } else {
-                mean(&solved)
-            };
-            ratios.push((
-                format!("{} mk/{} mk", columns[col], baseline.legend()),
-                value,
-            ));
-            col += 1;
-        }
-        rows.push(RSweepRow {
-            rounds: r,
-            ratios,
-            skipped,
-        });
-    }
-
+    let core = run_axis_sweep(
+        cfg,
+        &variant.label,
+        "R",
+        &variant.sampler,
+        &variant.rounds,
+        &variant.planners,
+        &variant.baseline,
+    );
     RSweepResult {
         label: variant.label.clone(),
-        n,
-        baseline: baseline.legend().to_string(),
-        baseline_makespan,
-        rows,
+        n: core.n,
+        baseline: core.baseline_legend,
+        baseline_makespan: core.baseline_makespan,
+        rows: core
+            .rows
+            .into_iter()
+            .map(|r| RSweepRow {
+                rounds: r.axis,
+                ratios: r.ratios,
+                skipped: r.skipped,
+            })
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tree depth sweep: the topology/makespan trade-off axis.
+// ---------------------------------------------------------------------------
+
+/// Configuration of the tree depth sweep: which balanced-tree fanouts to
+/// compare (each fanout fixes a depth for the sampled platform size),
+/// against which flat-star baseline.
+#[derive(Debug, Clone)]
+pub struct DepthSweepVariant {
+    /// Label for headers and file names.
+    pub label: String,
+    /// Random platform family (the flat stars the workers come from).
+    pub sampler: PlatformSampler,
+    /// Balanced-tree fanouts on the table's axis (`fanout ≥ p` is the
+    /// flat star, `1` the chain).
+    pub fanouts: Vec<usize>,
+    /// Base registry ids of the tree strategies (`@fanout` is appended per
+    /// row); resolved through the `dls-tree` provider.
+    pub schedulers: Vec<String>,
+    /// Flat-star reference id whose makespan normalizes every cell
+    /// (canonically `optimal_fifo`).
+    pub baseline: String,
+}
+
+/// The default depth sweep: fanouts `{p, 3, 2, 1}` (star → chain) for
+/// `tree_fifo`/`tree_lifo` on the paper's heterogeneous-star family,
+/// normalized by `optimal_fifo` on the flat star.
+pub fn depth_sweep_variant() -> DepthSweepVariant {
+    let sampler = PlatformSampler::hetero_star();
+    DepthSweepVariant {
+        label: "tree-platform trade-off (makespan vs depth)".into(),
+        fanouts: vec![sampler.workers, 3, 2, 1],
+        sampler,
+        schedulers: vec!["tree_fifo".into(), "tree_lifo".into()],
+        baseline: "optimal_fifo".into(),
+    }
+}
+
+/// One depth-sweep row: a fanout, its balanced-tree depth, and each tree
+/// strategy's mean makespan ratio against the flat-star baseline.
+#[derive(Debug, Clone)]
+pub struct DepthSweepRow {
+    /// Balanced-tree fanout.
+    pub fanout: usize,
+    /// Depth of the balanced tree at this fanout (for the sampled worker
+    /// count).
+    pub depth: usize,
+    /// `(column name, mean makespan / baseline makespan)` per strategy;
+    /// ratios above 1 quantify what the extra relay hops cost. A strategy
+    /// that solved no platform is `NaN`.
+    pub ratios: Vec<(String, f64)>,
+    /// Strategy configurations that failed on some platforms at this
+    /// fanout, keyed by their full parameterized registry id.
+    pub skipped: Vec<SkippedStrategy>,
+}
+
+/// Complete depth-sweep result.
+#[derive(Debug, Clone)]
+pub struct DepthSweepResult {
+    /// Label of the variant.
+    pub label: String,
+    /// Matrix size the platforms were built for.
+    pub n: usize,
+    /// Legend of the normalizing baseline.
+    pub baseline: String,
+    /// Mean flat-star baseline makespan in seconds (absolute reference).
+    pub baseline_makespan: f64,
+    /// One row per fanout.
+    pub rows: Vec<DepthSweepRow>,
+}
+
+impl DepthSweepResult {
+    /// Renders the trade-off table (one row per fanout).
+    pub fn table(&self) -> Table {
+        let mut headers: Vec<String> = vec!["fanout".into(), "depth".into()];
+        if let Some(row) = self.rows.first() {
+            headers.extend(row.ratios.iter().map(|(name, _)| name.clone()));
+        }
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new(&header_refs);
+        for row in &self.rows {
+            let mut cells = vec![row.fanout.to_string(), row.depth.to_string()];
+            cells.extend(row.ratios.iter().map(|(_, v)| num(*v, 4)));
+            t.row(&cells);
+        }
+        t
+    }
+}
+
+/// Runs the tree depth sweep at the paper-scale matrix size (the last
+/// entry of `cfg.sizes`), averaging each tree strategy's predicted
+/// makespan over `cfg.platforms` sampled flat stars — rearranged into a
+/// balanced tree per fanout — and normalizing by the baseline's flat-star
+/// makespan per platform.
+///
+/// # Panics
+/// Like [`run_r_sweep`]: the baseline must solve every platform, and
+/// non-applicability strategy errors abort loudly; applicability errors
+/// are recorded in [`DepthSweepRow::skipped`].
+pub fn run_depth_sweep(cfg: &SweepConfig, variant: &DepthSweepVariant) -> DepthSweepResult {
+    dls_tree::install();
+    let core = run_axis_sweep(
+        cfg,
+        &variant.label,
+        "fanout",
+        &variant.sampler,
+        &variant.fanouts,
+        &variant.schedulers,
+        &variant.baseline,
+    );
+    // The depth of each fanout's balanced layout only depends on the
+    // worker count, not the sampled costs: probe once with unit costs.
+    let probe =
+        Platform::bus(1.0, 0.5, &vec![1.0; variant.sampler.workers]).expect("probe platform valid");
+    let depth_of = |k: usize| dls_platform::TreePlatform::balanced(&probe, k).depth();
+    DepthSweepResult {
+        label: variant.label.clone(),
+        n: core.n,
+        baseline: core.baseline_legend,
+        baseline_makespan: core.baseline_makespan,
+        rows: core
+            .rows
+            .into_iter()
+            .map(|r| DepthSweepRow {
+                fanout: r.axis,
+                depth: depth_of(r.axis),
+                ratios: r.ratios,
+                skipped: r.skipped,
+            })
+            .collect(),
     }
 }
 
@@ -969,6 +1161,136 @@ mod tests {
             lp_at(r4)
         );
         assert!(res.rows.iter().all(|r| r.skipped.is_empty()));
+    }
+
+    #[test]
+    fn tree_and_affine_ids_join_an_ordinary_sweep() {
+        // The provider story end-to-end for the two new families: a tree
+        // id simulated on its collapsed execution platform, the affine
+        // prefix heuristic next to it, no skips.
+        let cfg = SweepConfig {
+            sizes: vec![80],
+            platforms: 2,
+            total_units: 50,
+            base_seed: 10,
+        };
+        let mut v = quick_variant();
+        v.schedulers = vec!["inc_c".into(), "tree_fifo@3".into(), "affine_fifo".into()];
+        let res = run_sweep(&cfg, &v);
+        let row = &res.rows[0];
+        assert!(
+            row.skipped.is_empty(),
+            "unexpected skips: {:?}",
+            row.skipped
+        );
+        let tree_lp = row
+            .ratios
+            .iter()
+            .find(|(n, _)| n == "TREE_FIFO@3 lp/INC_C lp")
+            .unwrap()
+            .1;
+        // Serializing relay hops cannot beat the flat-star optimum, and
+        // INC_C is that optimum on this z = 1/2 family.
+        assert!(tree_lp >= 1.0 - 1e-6, "TREE_FIFO@3 lp ratio {tree_lp}");
+        let tree_real = row
+            .ratios
+            .iter()
+            .find(|(n, _)| n == "TREE_FIFO@3 real/INC_C lp")
+            .unwrap()
+            .1;
+        assert!(
+            tree_real.is_finite(),
+            "collapsed schedule failed to simulate"
+        );
+        let aff_lp = row
+            .ratios
+            .iter()
+            .find(|(n, _)| n == "AFF_FIFO lp/INC_C lp")
+            .unwrap()
+            .1;
+        // Charging per-message latencies cannot beat the linear optimum.
+        assert!(aff_lp >= 1.0 - 1e-6, "AFF_FIFO lp ratio {aff_lp}");
+    }
+
+    #[test]
+    fn depth_sweep_flat_fanout_matches_the_baseline_and_depth_costs() {
+        // The acceptance shape of the trade-off table: fanout >= p is the
+        // flat star (TREE_FIFO ratio exactly 1) and deeper trees only get
+        // slower for the FIFO discipline.
+        let cfg = SweepConfig {
+            sizes: vec![200],
+            platforms: 4,
+            total_units: 1000,
+            base_seed: 14,
+        };
+        let res = run_depth_sweep(&cfg, &depth_sweep_variant());
+        assert_eq!(res.n, 200);
+        assert_eq!(res.baseline, "OPT_FIFO");
+        assert!(res.baseline_makespan > 0.0);
+        assert_eq!(res.rows.len(), 4);
+        let flat = &res.rows[0];
+        assert_eq!(flat.fanout, 11);
+        assert_eq!(flat.depth, 1);
+        let fifo_at = |row: &DepthSweepRow| {
+            row.ratios
+                .iter()
+                .find(|(n, _)| n.starts_with("TREE_FIFO"))
+                .unwrap()
+                .1
+        };
+        assert!(
+            (fifo_at(flat) - 1.0).abs() < 1e-9,
+            "flat fanout should be exactly the baseline, got {}",
+            fifo_at(flat)
+        );
+        // Depth is monotone along the fanout axis {11, 3, 2, 1}...
+        let depths: Vec<usize> = res.rows.iter().map(|r| r.depth).collect();
+        assert_eq!(depths, vec![1, 2, 3, 11]);
+        // ...and the serialized FIFO ratio only degrades with depth.
+        let mut prev = 0.0;
+        for row in &res.rows {
+            let v = fifo_at(row);
+            assert!(
+                v >= prev - 1e-9,
+                "FIFO ratio improved with depth at fanout {}",
+                row.fanout
+            );
+            prev = v;
+        }
+        assert!(res.rows.iter().all(|r| r.skipped.is_empty()));
+    }
+
+    #[test]
+    fn depth_sweep_table_has_one_row_per_fanout() {
+        let cfg = SweepConfig {
+            sizes: vec![120],
+            platforms: 2,
+            total_units: 100,
+            base_seed: 15,
+        };
+        let mut v = depth_sweep_variant();
+        v.fanouts = vec![11, 1];
+        let res = run_depth_sweep(&cfg, &v);
+        let t = res.table();
+        assert_eq!(t.num_rows(), 2);
+        let rendered = t.render();
+        assert!(rendered.contains("TREE_FIFO mk/OPT_FIFO mk"), "{rendered}");
+        assert!(rendered.contains("depth"), "{rendered}");
+    }
+
+    #[test]
+    fn depth_sweep_is_deterministic() {
+        let cfg = SweepConfig {
+            sizes: vec![120],
+            platforms: 3,
+            total_units: 100,
+            base_seed: 16,
+        };
+        let a = run_depth_sweep(&cfg, &depth_sweep_variant());
+        let b = run_depth_sweep(&cfg, &depth_sweep_variant());
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.ratios, rb.ratios);
+        }
     }
 
     #[test]

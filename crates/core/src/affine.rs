@@ -20,11 +20,18 @@
 //!   `p`), the NP-hard problem's ground truth;
 //! * [`affine_makespan`] — analytic earliest-feasible makespan of a FIFO
 //!   schedule under affine costs (cross-checked against the simulator's
-//!   per-message latency model in the integration tests).
+//!   per-message latency model in the integration tests);
+//! * [`AffineScheduler`] / [`install`] — the registry wrap: one
+//!   [`SchedulerProvider`] exposing the solvers as `affine_fifo` strategies
+//!   with parameterized ids (`affine_fifo@prefix`, `affine_fifo@subset`,
+//!   `affine_fifo@prefix:0.05` for an explicit uniform latency).
+
+use std::sync::Arc;
 
 use dls_lp::{Problem, Relation, SolverOptions, VarId};
 use dls_platform::{Platform, WorkerId};
 
+use crate::engine::{Execution, Provenance, Scheduler, SchedulerProvider, Solution};
 use crate::error::CoreError;
 use crate::schedule::{Schedule, LOAD_EPS};
 
@@ -260,6 +267,193 @@ pub fn affine_makespan(platform: &Platform, lat: &AffineLatencies, schedule: &Sc
     makespan
 }
 
+// ---------------------------------------------------------------------------
+// Registry wrap: the affine solvers as engine strategies.
+// ---------------------------------------------------------------------------
+
+/// Uniform per-message latency of the default registry instance, as a
+/// fraction of the horizon (`T = 1`). Small enough that every paper-scale
+/// platform stays feasible, large enough that latency-driven resource
+/// selection is visible in the tables.
+pub const DEFAULT_AFFINE_LATENCY: f64 = 0.01;
+
+/// Size guard for the exhaustive subset search (`2^p` LPs) behind
+/// `affine_fifo@subset` — the NP-hard selection problem's exact mode.
+pub const SUBSET_SEARCH_LIMIT: usize = 12;
+
+/// Which affine enrollment-search mode an [`AffineScheduler`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AffineMode {
+    /// Best `c`-sorted prefix ([`affine_fifo_best_prefix`], `p` LPs).
+    Prefix,
+    /// Exhaustive subset search ([`affine_fifo_best_subset`], `2^p` LPs,
+    /// guarded by [`SUBSET_SEARCH_LIMIT`]).
+    Subset,
+}
+
+impl AffineMode {
+    fn id_suffix(self) -> &'static str {
+        match self {
+            AffineMode::Prefix => "prefix",
+            AffineMode::Subset => "subset",
+        }
+    }
+}
+
+/// A constructor-configured affine FIFO strategy: a search mode plus a
+/// uniform per-message latency (applied to both the forward and the return
+/// message of every worker).
+///
+/// Reported throughput is the affine LP objective — the achieved value
+/// *under affine costs*. The default [`Scheduler::solve_exact`] re-solves
+/// the chosen scenario under the *linear* model (latencies dropped), so its
+/// exact objective upper-bounds the affine one; with latency `0` the two
+/// coincide and `affine_fifo@prefix:0` reproduces `optimal_fifo` exactly.
+#[derive(Debug, Clone)]
+pub struct AffineScheduler {
+    mode: AffineMode,
+    latency: f64,
+    name: String,
+    legend: String,
+}
+
+impl AffineScheduler {
+    /// A strategy named `affine_fifo@<mode>[:<latency>]`.
+    pub fn new(mode: AffineMode, latency: f64) -> Self {
+        let (name, legend) = if latency == DEFAULT_AFFINE_LATENCY {
+            (
+                format!("affine_fifo@{}", mode.id_suffix()),
+                format!("AFF_{}", mode.id_suffix().to_uppercase()),
+            )
+        } else {
+            (
+                format!("affine_fifo@{}:{latency}", mode.id_suffix()),
+                format!("AFF_{}:{latency}", mode.id_suffix().to_uppercase()),
+            )
+        };
+        AffineScheduler {
+            mode,
+            latency,
+            name,
+            legend,
+        }
+    }
+
+    /// The default registry instance: plain `affine_fifo` id, prefix
+    /// search, [`DEFAULT_AFFINE_LATENCY`].
+    pub fn registry_default() -> Self {
+        AffineScheduler {
+            mode: AffineMode::Prefix,
+            latency: DEFAULT_AFFINE_LATENCY,
+            name: "affine_fifo".into(),
+            legend: "AFF_FIFO".into(),
+        }
+    }
+
+    /// The configured search mode.
+    pub fn mode(&self) -> AffineMode {
+        self.mode
+    }
+
+    /// The configured uniform per-message latency.
+    pub fn latency(&self) -> f64 {
+        self.latency
+    }
+
+    /// The latency vectors this strategy charges on `platform`.
+    pub fn latencies(&self, platform: &Platform) -> AffineLatencies {
+        AffineLatencies::uniform(platform.num_workers(), self.latency, self.latency)
+    }
+}
+
+impl Scheduler for AffineScheduler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn legend(&self) -> &str {
+        &self.legend
+    }
+
+    fn solve(&self, platform: &Platform) -> Result<Solution, CoreError> {
+        let lat = self.latencies(platform);
+        let (sol, evaluated) = match self.mode {
+            AffineMode::Prefix => (
+                affine_fifo_best_prefix(platform, &lat)?,
+                platform.num_workers(),
+            ),
+            AffineMode::Subset => (
+                affine_fifo_best_subset(platform, &lat, SUBSET_SEARCH_LIMIT)?,
+                (1usize << platform.num_workers()) - 1,
+            ),
+        };
+        Ok(Solution {
+            schedule: sol.schedule,
+            throughput: sol.throughput,
+            provenance: Provenance::Search { evaluated },
+            execution: Execution::Direct,
+        })
+    }
+}
+
+/// The provider handing the `affine_fifo` family to the engine registry —
+/// the ROADMAP's "one-provider wrap" of the Section 6 solvers. Installed
+/// by [`install`].
+pub struct AffineProvider;
+
+impl AffineProvider {
+    fn parse(name: &str) -> Option<AffineScheduler> {
+        let rest = name.strip_prefix("affine_fifo")?;
+        if rest.is_empty() {
+            return Some(AffineScheduler::registry_default());
+        }
+        let params = rest.strip_prefix('@')?;
+        let (mode_str, latency) = match params.split_once(':') {
+            Some((m, l)) => {
+                let lat: f64 = l.parse().ok()?;
+                if !lat.is_finite() || lat < 0.0 {
+                    return None;
+                }
+                (m, lat)
+            }
+            None => (params, DEFAULT_AFFINE_LATENCY),
+        };
+        let mode = match mode_str {
+            "prefix" => AffineMode::Prefix,
+            "subset" => AffineMode::Subset,
+            _ => return None,
+        };
+        let mut s = AffineScheduler::new(mode, latency);
+        // Preserve the exact spelling that was looked up (id == name, like
+        // every other provider): `affine_fifo@prefix:0.01` must not
+        // collapse into the default-latency name.
+        s.name = name.to_string();
+        Some(s)
+    }
+}
+
+impl SchedulerProvider for AffineProvider {
+    fn group(&self) -> &'static str {
+        "affine"
+    }
+
+    fn schedulers(&self) -> Vec<Box<dyn Scheduler>> {
+        vec![Box::new(AffineScheduler::registry_default())]
+    }
+
+    fn resolve(&self, name: &str) -> Option<Box<dyn Scheduler>> {
+        Self::parse(name).map(|s| Box::new(s) as Box<dyn Scheduler>)
+    }
+}
+
+/// Installs the affine provider into [`crate::registry`] (idempotent).
+/// After this, `registry()` lists `affine_fifo` and [`crate::lookup`]
+/// resolves parameterized ids such as `affine_fifo@subset` and
+/// `affine_fifo@prefix:0.05`.
+pub fn install() {
+    crate::register_provider(Arc::new(AffineProvider));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +550,74 @@ mod tests {
         let a = affine_makespan(&p, &lat, &sol.schedule);
         let b = crate::timeline::makespan(&p, &sol.schedule, PortModel::OnePort);
         assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn provider_parses_defaults_and_parameterized_ids_only() {
+        assert_eq!(
+            AffineProvider::parse("affine_fifo").unwrap().name(),
+            "affine_fifo"
+        );
+        let s = AffineProvider::parse("affine_fifo@subset").unwrap();
+        assert_eq!(s.mode(), AffineMode::Subset);
+        assert_eq!(s.latency(), DEFAULT_AFFINE_LATENCY);
+        assert_eq!(s.name(), "affine_fifo@subset");
+        let s = AffineProvider::parse("affine_fifo@prefix:0.05").unwrap();
+        assert_eq!(s.mode(), AffineMode::Prefix);
+        assert!((s.latency() - 0.05).abs() < 1e-12);
+        // Explicit spellings of the default latency keep their exact id
+        // (id == name round-trip, like every other provider).
+        let s = AffineProvider::parse("affine_fifo@prefix:0.01").unwrap();
+        assert_eq!(s.name(), "affine_fifo@prefix:0.01");
+        assert_eq!(s.latency(), DEFAULT_AFFINE_LATENCY);
+        assert!(AffineProvider::parse("affine_fifo@chaos").is_none());
+        assert!(AffineProvider::parse("affine_fifo@prefix:-1").is_none());
+        assert!(AffineProvider::parse("affine_fifox").is_none());
+        assert!(AffineProvider::parse("optimal_fifo").is_none());
+    }
+
+    #[test]
+    fn scheduler_zero_latency_reproduces_optimal_fifo() {
+        let p = star(4);
+        let zero = AffineScheduler::new(AffineMode::Prefix, 0.0);
+        assert_eq!(zero.name(), "affine_fifo@prefix:0");
+        let sol = zero.solve(&p).unwrap();
+        let opt = crate::fifo::optimal_fifo(&p).unwrap();
+        assert!((sol.throughput - opt.throughput).abs() < 1e-7);
+        assert_eq!(sol.execution, Execution::Direct);
+    }
+
+    #[test]
+    fn scheduler_latency_reduces_throughput_and_subset_dominates() {
+        let p = star(5);
+        let prefix = AffineScheduler::registry_default().solve(&p).unwrap();
+        let subset = AffineScheduler::new(AffineMode::Subset, DEFAULT_AFFINE_LATENCY)
+            .solve(&p)
+            .unwrap();
+        let opt = crate::fifo::optimal_fifo(&p).unwrap();
+        assert!(prefix.throughput < opt.throughput);
+        assert!(subset.throughput >= prefix.throughput - 1e-9);
+        assert!(matches!(
+            prefix.provenance,
+            Provenance::Search { evaluated: 5 }
+        ));
+        assert!(matches!(
+            subset.provenance,
+            Provenance::Search { evaluated: 31 }
+        ));
+    }
+
+    #[test]
+    fn subset_mode_is_guarded_by_the_size_limit() {
+        let cw: Vec<(f64, f64)> = (0..SUBSET_SEARCH_LIMIT + 1)
+            .map(|i| (1.0 + i as f64, 2.0))
+            .collect();
+        let p = Platform::star_with_z(&cw, 0.5).unwrap();
+        let err = AffineScheduler::new(AffineMode::Subset, 0.001)
+            .solve(&p)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::TooManyWorkers { .. }));
+        assert!(err.is_applicability());
     }
 
     #[test]

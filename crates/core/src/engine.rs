@@ -37,7 +37,7 @@
 use std::sync::{Arc, OnceLock, RwLock};
 
 use dls_lp::Rational;
-use dls_platform::Platform;
+use dls_platform::{Platform, TreePlatform, WorkerId};
 
 use crate::error::CoreError;
 use crate::lp_model::LpSchedule;
@@ -86,6 +86,25 @@ pub enum Execution {
         /// Number of installment rounds (`platform` has `rounds · p`
         /// workers for a physical platform of `p`).
         rounds: usize,
+    },
+    /// The schedule lives on `platform`, the bandwidth-equivalent
+    /// *star-collapse* of a multi-level tree topology (see the `dls-tree`
+    /// crate): virtual worker `j` stands for tree node `j`, its `c`/`d`
+    /// summed along the root-to-node path (serialized store-and-forward
+    /// cost). Expanding the collapsed-star timeline back into per-edge hop
+    /// timings is always feasible on `tree`, so the reported throughput is
+    /// achieved (it is *exact* for depth-1 trees and conservative for
+    /// deeper ones, where real relays can pipeline hops in parallel).
+    Tree {
+        /// The collapsed bandwidth-equivalent star the schedule's ids
+        /// refer to.
+        platform: Platform,
+        /// The tree topology the solution was planned for.
+        tree: TreePlatform,
+        /// Physical worker id per tree node / collapsed-star worker — the
+        /// collapse mapping back to the platform the scheduler was asked
+        /// to solve (identity for solves of a native tree).
+        nodes: Vec<WorkerId>,
     },
 }
 
@@ -144,14 +163,26 @@ impl Solution {
         match &self.execution {
             Execution::Direct => physical,
             Execution::Rounds { platform, .. } => platform,
+            Execution::Tree { platform, .. } => platform,
         }
     }
 
-    /// Number of installment rounds (1 for one-round solutions).
+    /// Number of installment rounds (1 for one-round solutions; tree
+    /// schedules are one-round).
     pub fn rounds(&self) -> usize {
         match &self.execution {
             Execution::Direct => 1,
             Execution::Rounds { rounds, .. } => *rounds,
+            Execution::Tree { .. } => 1,
+        }
+    }
+
+    /// The tree topology this solution was planned for, if it is a
+    /// star-collapse solution.
+    pub fn tree(&self) -> Option<&TreePlatform> {
+        match &self.execution {
+            Execution::Tree { tree, .. } => Some(tree),
+            _ => None,
         }
     }
 
@@ -165,6 +196,13 @@ impl Solution {
                 let mut seen = vec![false; p];
                 for id in self.schedule.participants() {
                     seen[id.index() % p] = true;
+                }
+                seen.iter().filter(|s| **s).count()
+            }
+            Execution::Tree { nodes, .. } => {
+                let mut seen = vec![false; p];
+                for id in self.schedule.participants() {
+                    seen[nodes[id.index()].index()] = true;
                 }
                 seen.iter().filter(|s| **s).count()
             }

@@ -8,6 +8,9 @@
 //!   per-worker costs `(c, w, d)`;
 //! * [`MatrixApp`] / [`ClusterModel`] — the matrix-product application and
 //!   the `gdsdmi`-cluster cost model used in Section 5 (`z = 1/2`);
+//! * [`TreePlatform`] — multi-level master → relay → worker topologies
+//!   (chains, balanced k-ary trees, random trees) behind the same
+//!   per-node cost triple, consumed by the `dls-tree` collapse reduction;
 //! * [`PlatformSampler`] — seeded random-platform families of Figures 10-12;
 //! * [`scenario`] — named platforms lifted verbatim from the paper
 //!   (Figure 14's four-worker table, the Figure 9 trace platform).
@@ -26,9 +29,11 @@ mod app;
 mod generator;
 mod platform;
 pub mod scenario;
+mod tree;
 mod worker;
 
 pub use app::{ClusterModel, MatrixApp};
 pub use generator::{Heterogeneity, PlatformSampler};
 pub use platform::{Platform, PlatformError};
+pub use tree::TreePlatform;
 pub use worker::{Worker, WorkerId};

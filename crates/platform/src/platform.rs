@@ -18,6 +18,13 @@ pub enum PlatformError {
         /// The bad value.
         value: f64,
     },
+    /// A tree node's parent link was missing or pointed at a node that is
+    /// not strictly earlier in the topological numbering (see
+    /// [`crate::TreePlatform::new`]).
+    InvalidParent {
+        /// Offending node index.
+        node: usize,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -32,6 +39,11 @@ impl fmt::Display for PlatformError {
                 f,
                 "worker P{} has invalid {param} = {value} (must be finite and > 0)",
                 worker + 1
+            ),
+            PlatformError::InvalidParent { node } => write!(
+                f,
+                "tree node P{} has a missing or non-topological parent link",
+                node + 1
             ),
         }
     }

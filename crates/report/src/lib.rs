@@ -8,6 +8,8 @@
 //!   compared side by side on one platform;
 //! * [`multiround_table`] — the makespan-vs-R installment trade-off table
 //!   (requires the `dls-rounds` provider to be installed);
+//! * [`tree_table`] — the makespan-vs-depth/fan-out trade-off table for
+//!   tree platforms (requires the `dls-tree` provider to be installed);
 //! * [`summarize`] / [`linear_fit`] — statistics for averaged sweeps and
 //!   the Figure 8 linearity check;
 //! * [`write_dat`] — gnuplot-friendly series files for regenerating plots;
@@ -26,4 +28,4 @@ pub use output::{write_dat, write_text, Series};
 pub use par::par_map;
 pub use regression::{linear_fit, LinearFit};
 pub use stats::{geometric_mean, mean, percentile, summarize, Summary};
-pub use table::{multiround_table, num, strategy_table, Align, Table};
+pub use table::{multiround_table, num, strategy_table, tree_table, Align, Table};

@@ -273,6 +273,56 @@ pub fn multiround_table(platform: &Platform, rounds: &[usize]) -> Table {
     t
 }
 
+/// The tree depth/fan-out trade-off table: one row per balanced-tree
+/// fanout, columns for the resulting depth and each `tree_*` strategy's
+/// collapsed-star makespan (unit horizon × the strategy's makespan ratio),
+/// plus the best strategy's slowdown versus the flat-star `optimal_fifo`.
+///
+/// Resolves the parameterized ids `tree_{fifo,lifo}@<fanout>` through
+/// [`dls_core::lookup`], so the caller must have installed the tree
+/// provider (`dls_tree::install()`); unresolvable or failing ids render as
+/// `n/a` rather than aborting the table.
+pub fn tree_table(platform: &Platform, fanouts: &[usize]) -> Table {
+    const STRATEGIES: [(&str, &str); 2] = [("tree_fifo", "TREE_FIFO"), ("tree_lifo", "TREE_LIFO")];
+    let baseline = dls_core::lookup("optimal_fifo")
+        .and_then(|s| s.solve(platform).ok())
+        .map(|sol| 1.0 / sol.throughput);
+
+    let mut headers: Vec<String> = vec!["fanout".into(), "depth".into()];
+    headers.extend(
+        STRATEGIES
+            .iter()
+            .map(|(_, legend)| format!("{legend} makespan")),
+    );
+    headers.push("best vs OPT_FIFO".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+
+    for &k in fanouts {
+        let depth = dls_platform::TreePlatform::balanced(platform, k).depth();
+        let mut cells = vec![k.to_string(), depth.to_string()];
+        let mut best: Option<f64> = None;
+        for (id, _) in STRATEGIES {
+            let makespan = dls_core::lookup(&format!("{id}@{k}"))
+                .and_then(|s| s.solve(platform).ok())
+                .map(|sol| 1.0 / sol.throughput);
+            match makespan {
+                Some(m) => {
+                    best = Some(best.map_or(m, |b: f64| b.min(m)));
+                    cells.push(num(m, 6));
+                }
+                None => cells.push("n/a".into()),
+            }
+        }
+        cells.push(match (best, baseline) {
+            (Some(m), Some(b)) => format!("{}x", num(m / b, 4)),
+            _ => "-".into(),
+        });
+        t.row(&cells);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +420,57 @@ mod tests {
         // R = 1 reduces to optimal_fifo: speedup exactly 1.0000x.
         let r1 = rendered.lines().nth(2).expect("R = 1 row");
         assert!(r1.trim_end().ends_with("1.0000x"), "R = 1 row: {r1}");
+    }
+
+    #[test]
+    fn tree_table_rows_per_fanout_with_flat_identity() {
+        dls_tree::install();
+        let p = Platform::star_with_z(&[(1.0, 5.0), (2.0, 4.0), (1.5, 6.0)], 0.5).unwrap();
+        let t = tree_table(&p, &[3, 2, 1]);
+        assert_eq!(t.num_rows(), 3);
+        let rendered = t.render();
+        assert!(rendered.contains("TREE_FIFO"));
+        assert!(rendered.contains("best vs OPT_FIFO"));
+        assert!(!rendered.contains("n/a"), "strategies failed:\n{rendered}");
+        // fanout >= p is the flat star: TREE_FIFO reproduces optimal_fifo
+        // exactly (the LIFO column may beat it — LIFO is not a FIFO
+        // schedule — so "best vs OPT_FIFO" can dip below 1x on depth 1).
+        let opt = 1.0
+            / dls_core::lookup("optimal_fifo")
+                .unwrap()
+                .solve(&p)
+                .unwrap()
+                .throughput;
+        let flat = rendered.lines().nth(2).expect("fanout 3 row");
+        assert!(flat.contains(&num(opt, 6)), "flat row: {flat}");
+        assert!(
+            flat.split_whitespace().nth(1) == Some("1"),
+            "flat depth: {flat}"
+        );
+        // The chain row is the deepest.
+        let chain = rendered.lines().nth(4).expect("fanout 1 row");
+        assert!(
+            chain.split_whitespace().nth(1) == Some(&p.num_workers().to_string()),
+            "chain row: {chain}"
+        );
+    }
+
+    #[test]
+    fn tree_table_degrades_unresolvable_ids_to_na_cells() {
+        // Without relying on provider state, an id that resolves but fails
+        // to solve: a non-z-tied platform makes optimal_fifo (and thus the
+        // collapsed solves) error, degrading cells instead of aborting.
+        dls_tree::install();
+        let p = Platform::new(vec![
+            dls_platform::Worker::new(1.0, 2.0, 0.9),
+            dls_platform::Worker::new(2.0, 1.0, 0.2),
+        ])
+        .unwrap();
+        let t = tree_table(&p, &[2]);
+        let rendered = t.render();
+        let row = rendered.lines().nth(2).expect("row");
+        assert_eq!(row.matches("n/a").count(), 2, "row: {row}");
+        assert!(row.trim_end().ends_with('-'), "row: {row}");
     }
 
     #[test]

@@ -279,7 +279,7 @@ mod tests {
                 Execution::Rounds { platform, rounds } => {
                     assert_eq!(platform.num_workers(), p.num_workers() * rounds);
                 }
-                Execution::Direct => panic!("{} produced a direct solution", sched.name()),
+                other => panic!("{} produced a non-rounds solution: {other:?}", sched.name()),
             }
             // Total load 1 by the fraction invariant.
             assert!((sol.schedule.total_load() - 1.0).abs() < 1e-9);

@@ -11,6 +11,9 @@
 //! * [`simulate`] — run a schedule under a [`SimConfig`] (master policy ×
 //!   realism model × seed) and obtain a [`SimReport`] with a full
 //!   activity [`Trace`];
+//! * [`simulate_tree`] — store-and-forward replay of tree-platform
+//!   schedules with every node (master, relays, workers) one-port, plus
+//!   the independent [`verify_tree`] constraint checker;
 //! * [`gantt::render`] — Figure 9-style Gantt visualisation;
 //! * [`EventQueue`] / [`SimTime`] — deterministic discrete-event plumbing
 //!   for extensions (multi-round schedules, tree platforms).
@@ -39,9 +42,11 @@ mod noise;
 mod queue;
 mod time;
 mod trace;
+mod tree;
 
 pub use executor::{simulate, simulate_reps, MasterPolicy, SimConfig, SimReport};
 pub use noise::{Noise, RealismModel};
 pub use queue::EventQueue;
 pub use time::SimTime;
 pub use trace::{Span, SpanKind, Trace, WorkerStats};
+pub use tree::{simulate_tree, verify_tree, TreeSimReport, TreeSpan, TreeSpanKind};

@@ -1,0 +1,355 @@
+//! The bandwidth-equivalent star-collapse reduction and its expansion.
+//!
+//! **Collapse.** Every node of a [`TreePlatform`] folds into one virtual
+//! worker of an ordinary star: node `j` becomes virtual worker `j` with
+//!
+//! * `c_eq = Σ c` and `d_eq = Σ d` along the root-to-node path (the
+//!   serialized store-and-forward cost of moving a load unit to/from the
+//!   node),
+//! * `w_eq = w_j` (the node's own compute cost).
+//!
+//! Charging the whole path to the master's port is what makes the
+//! reduction *safe*: if the collapsed-star timeline reserves the master
+//! for `α·Σc`, the hop-by-hop transfers of that message fit inside the
+//! reservation back-to-back, and any two messages sharing a relay have
+//! disjoint reservations — so the expanded plan never violates one-port at
+//! any node (see [`expand`] and the feasibility tests). The price is
+//! conservatism: real relays can forward into one subtree while the master
+//! feeds another, so for depth ≥ 2 the collapsed model may under-estimate
+//! the achievable throughput (the store-and-forward simulator in `dls-sim`
+//! finishes no later than the prediction, and often earlier). For a
+//! depth-1 tree the path is a single edge and the reduction is **exact**:
+//! the collapsed star *is* the tree.
+//!
+//! **Expansion.** [`expand`] turns a collapsed-star schedule back into
+//! per-edge hop timings ([`NodeTiming`]): downward hops run back-to-back
+//! from the star send's start, upward hops back-to-back into the star
+//! return's end.
+
+use dls_core::timeline::{Interval, Timeline};
+use dls_core::{CoreError, PortModel, Schedule, LOAD_EPS};
+use dls_platform::{Platform, TreePlatform, Worker, WorkerId};
+
+/// Builds the bandwidth-equivalent collapsed star of a tree: virtual
+/// worker `j` carries tree node `j`'s compute cost and its path-summed
+/// link costs.
+pub fn collapse(tree: &TreePlatform) -> Platform {
+    let workers: Vec<Worker> = tree
+        .ids()
+        .map(|id| {
+            let (c, d) = tree.path_costs(id);
+            Worker::new(c, tree.node(id).w, d)
+        })
+        .collect();
+    Platform::new(workers).expect("path sums of valid costs are valid costs")
+}
+
+/// Serialized timing of one message hop over one tree edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HopTiming {
+    /// Child endpoint of the edge the hop crosses (the edge "belongs" to
+    /// its child node, like [`TreePlatform`] costs).
+    pub edge: WorkerId,
+    /// Transfer interval.
+    pub interval: Interval,
+}
+
+/// Full serialized timing of one participating node's load: the downward
+/// hop chain, the computation, and the upward hop chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeTiming {
+    /// The node processing this load share.
+    pub node: WorkerId,
+    /// Load share `α`.
+    pub load: f64,
+    /// Downward hops in path order (master's child first); hop `k` crosses
+    /// the edge into `path[k]`.
+    pub down: Vec<HopTiming>,
+    /// The node's computation.
+    pub compute: Interval,
+    /// Upward hops in travel order (deepest edge first, master's child
+    /// last). Empty when the path's return cost is negligible.
+    pub up: Vec<HopTiming>,
+}
+
+/// Expands a collapsed-star schedule into per-edge hop timings on `tree`.
+///
+/// The schedule's worker ids are tree node ids (the collapse mapping is
+/// the identity on indices); its loads/orders are exactly what a star
+/// solver produced on [`collapse`]`(tree)`. Each star send interval
+/// `[s, s + α·Σc]` is cut into back-to-back hops down the path; each star
+/// return `[r, r + α·Σd]` into back-to-back hops up the path, so the last
+/// hop reaches the master exactly at the star interval's end. The
+/// feasibility of this layout — one-port at every node, store-and-forward
+/// precedence — follows from the disjointness of the star intervals and is
+/// pinned by the `dls-sim` replay tests.
+pub fn expand(tree: &TreePlatform, schedule: &Schedule) -> Result<Vec<NodeTiming>, CoreError> {
+    if schedule.loads().len() != tree.num_nodes() {
+        return Err(CoreError::MalformedOrder(format!(
+            "schedule has {} loads for a {}-node tree",
+            schedule.loads().len(),
+            tree.num_nodes()
+        )));
+    }
+    let star = collapse(tree);
+    let timeline = Timeline::build(&star, schedule, PortModel::OnePort);
+    let mut out = Vec::with_capacity(timeline.entries().len());
+    for e in timeline.entries() {
+        let node = e.worker;
+        let alpha = schedule.load(node);
+        let path = tree.path(node);
+
+        let mut down = Vec::with_capacity(path.len());
+        let mut t = e.send.start;
+        for &hop in &path {
+            let len = alpha * tree.node(hop).c;
+            down.push(HopTiming {
+                edge: hop,
+                interval: Interval {
+                    start: t,
+                    end: t + len,
+                },
+            });
+            t += len;
+        }
+
+        let mut up = Vec::with_capacity(path.len());
+        if !e.ret.is_empty() {
+            let mut t = e.ret.start;
+            for &hop in path.iter().rev() {
+                let len = alpha * tree.node(hop).d;
+                up.push(HopTiming {
+                    edge: hop,
+                    interval: Interval {
+                        start: t,
+                        end: t + len,
+                    },
+                });
+                t += len;
+            }
+        }
+
+        out.push(NodeTiming {
+            node,
+            load: alpha,
+            down,
+            compute: e.compute,
+            up,
+        });
+    }
+    Ok(out)
+}
+
+/// Independently re-checks the tree-model constraints of an expansion:
+/// hop durations match `α · cost`, hops chain in store-and-forward order,
+/// computation sits between delivery and the first upward hop, and every
+/// node's port (master included) carries at most one transfer at a time.
+/// Empty = feasible.
+pub fn verify_expansion(tree: &TreePlatform, timings: &[NodeTiming], tol: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    // (interval, port) pairs: each hop occupies the edge's child endpoint
+    // and its parent (None = master).
+    let mut port_use: Vec<(Interval, Option<WorkerId>)> = Vec::new();
+    for t in timings {
+        let path = tree.path(t.node);
+        if t.down.len() != path.len() {
+            violations.push(format!("{}: down hop count != path length", t.node));
+            continue;
+        }
+        let mut prev_end = f64::NEG_INFINITY;
+        for (hop, &edge) in t.down.iter().zip(&path) {
+            if hop.edge != edge {
+                violations.push(format!("{}: down hop edge mismatch", t.node));
+            }
+            if (hop.interval.len() - t.load * tree.node(hop.edge).c).abs() > tol {
+                violations.push(format!("{}: down hop duration != alpha*c", t.node));
+            }
+            if hop.interval.start < prev_end - tol {
+                violations.push(format!("{}: hop forwards before full receipt", t.node));
+            }
+            prev_end = hop.interval.end;
+            port_use.push((hop.interval, tree.parent(hop.edge)));
+            port_use.push((hop.interval, Some(hop.edge)));
+        }
+        if t.compute.start < prev_end - tol {
+            violations.push(format!("{}: computes before delivery", t.node));
+        }
+        if (t.compute.len() - t.load * tree.node(t.node).w).abs() > tol {
+            violations.push(format!("{}: compute duration != alpha*w", t.node));
+        }
+        let (_, ret_cost) = tree.path_costs(t.node);
+        if t.up.is_empty() {
+            if t.load * ret_cost > tol.max(LOAD_EPS) {
+                violations.push(format!("{}: return chain missing", t.node));
+            }
+            continue;
+        }
+        if t.up.len() != path.len() {
+            violations.push(format!(
+                "{}: {} up hops for depth {}",
+                t.node,
+                t.up.len(),
+                path.len()
+            ));
+            continue;
+        }
+        let mut prev_end = t.compute.end;
+        for (hop, &edge) in t.up.iter().zip(path.iter().rev()) {
+            if hop.edge != edge {
+                violations.push(format!("{}: up hop edge mismatch", t.node));
+            }
+            if (hop.interval.len() - t.load * tree.node(hop.edge).d).abs() > tol {
+                violations.push(format!("{}: up hop duration != alpha*d", t.node));
+            }
+            if hop.interval.start < prev_end - tol {
+                violations.push(format!("{}: return forwarded before receipt", t.node));
+            }
+            prev_end = hop.interval.end;
+            port_use.push((hop.interval, tree.parent(hop.edge)));
+            port_use.push((hop.interval, Some(hop.edge)));
+        }
+    }
+    // One-port at every node: transfers touching the same port are
+    // pairwise disjoint.
+    for (i, (a, pa)) in port_use.iter().enumerate() {
+        if a.len() <= LOAD_EPS {
+            continue;
+        }
+        for (b, pb) in &port_use[i + 1..] {
+            if pa == pb && b.len() > LOAD_EPS && a.overlaps(b, tol) {
+                let port = pa.map_or("master".to_string(), |p| p.to_string());
+                violations.push(format!("one-port violated at {port}"));
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_core::prelude::*;
+
+    fn star3() -> Platform {
+        Platform::star_with_z(&[(1.0, 5.0), (2.0, 4.0), (1.5, 6.0)], 0.5).unwrap()
+    }
+
+    #[test]
+    fn depth_one_collapse_is_the_identity() {
+        let p = star3();
+        let t = TreePlatform::star(&p);
+        assert_eq!(collapse(&t), p);
+    }
+
+    #[test]
+    fn chain_collapse_sums_path_costs() {
+        let p = star3();
+        let t = TreePlatform::chain(&p);
+        let s = collapse(&t);
+        // Node 2 (third on the chain) pays all three links.
+        assert!((s.worker(WorkerId(2)).c - 4.5).abs() < 1e-12);
+        assert!((s.worker(WorkerId(2)).d - 2.25).abs() < 1e-12);
+        assert_eq!(s.worker(WorkerId(2)).w, 6.0);
+        // z-tied trees collapse into z-tied stars.
+        assert!((s.common_z().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expansion_of_the_collapsed_optimum_is_feasible() {
+        let p = star3();
+        for fanout in [1usize, 2, 3] {
+            let t = TreePlatform::balanced(&p, fanout);
+            let sol = optimal_fifo(&collapse(&t)).unwrap();
+            let timings = expand(&t, &sol.schedule).unwrap();
+            let violations = verify_expansion(&t, &timings, 1e-9);
+            assert!(violations.is_empty(), "fanout {fanout}: {violations:?}");
+            // The expansion ends exactly at the collapsed-star makespan.
+            let last = timings
+                .iter()
+                .flat_map(|t| t.up.iter().map(|h| h.interval.end))
+                .fold(0.0, f64::max);
+            assert!((last - 1.0).abs() < 1e-7, "horizon not filled: {last}");
+        }
+    }
+
+    #[test]
+    fn expansion_hop_chains_cover_the_star_intervals() {
+        let p = star3();
+        let t = TreePlatform::chain(&p);
+        let star = collapse(&t);
+        let sol = optimal_fifo(&star).unwrap();
+        let timeline = Timeline::build(&star, &sol.schedule, PortModel::OnePort);
+        let timings = expand(&t, &sol.schedule).unwrap();
+        for nt in &timings {
+            let e = timeline.entry(nt.node).unwrap();
+            assert!((nt.down.first().unwrap().interval.start - e.send.start).abs() < 1e-12);
+            assert!((nt.down.last().unwrap().interval.end - e.send.end).abs() < 1e-12);
+            if !nt.up.is_empty() {
+                assert!((nt.up.first().unwrap().interval.start - e.ret.start).abs() < 1e-12);
+                assert!((nt.up.last().unwrap().interval.end - e.ret.end).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn verify_expansion_catches_truncated_return_chains() {
+        let p = star3();
+        let t = TreePlatform::chain(&p);
+        let sol = optimal_fifo(&collapse(&t)).unwrap();
+        let mut timings = expand(&t, &sol.schedule).unwrap();
+        // Drop the final master-bound hop of a deep node's return: the
+        // results never reach the master, which must not verify clean.
+        let victim = timings
+            .iter_mut()
+            .find(|nt| nt.up.len() > 1)
+            .expect("chain has deep returns");
+        victim.up.pop();
+        let violations = verify_expansion(&t, &timings, 1e-9);
+        assert!(
+            violations.iter().any(|v| v.contains("up hops for depth")),
+            "truncated chain not caught: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn verify_expansion_catches_wholly_deleted_return_chains() {
+        // A positive return cost with an *empty* up chain is just as
+        // wrong as a truncated one.
+        let p = star3();
+        let t = TreePlatform::chain(&p);
+        let sol = optimal_fifo(&collapse(&t)).unwrap();
+        let mut timings = expand(&t, &sol.schedule).unwrap();
+        timings[0].up.clear();
+        let violations = verify_expansion(&t, &timings, 1e-9);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("return chain missing")),
+            "deleted chain not caught: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn verify_expansion_catches_tampering() {
+        let p = star3();
+        let t = TreePlatform::chain(&p);
+        let sol = optimal_fifo(&collapse(&t)).unwrap();
+        let mut timings = expand(&t, &sol.schedule).unwrap();
+        // Shift one deep hop before its upstream hop completes.
+        let victim = timings
+            .iter_mut()
+            .find(|nt| nt.down.len() > 1)
+            .expect("chain has deep nodes");
+        victim.down[1].interval.start = 0.0;
+        assert!(!verify_expansion(&t, &timings, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn expand_rejects_mismatched_schedules() {
+        let p = star3();
+        let t = TreePlatform::chain(&p);
+        let two = Platform::star_with_z(&[(1.0, 5.0), (2.0, 4.0)], 0.5).unwrap();
+        let s = Schedule::fifo(&two, two.ids().collect(), vec![0.5, 0.5]).unwrap();
+        assert!(matches!(expand(&t, &s), Err(CoreError::MalformedOrder(_))));
+    }
+}

@@ -14,8 +14,12 @@ fn main() {
     let ws: Vec<f64> = (0..p).map(|i| 2.0 + ((i * 7) % 5) as f64).collect();
     let platform = Platform::bus(1.0, 0.5, &ws).expect("valid bus");
 
-    // Add the provider-contributed multi-round strategies to the registry.
+    // Add the provider-contributed strategies to the registry: multi-round
+    // installments, tree topologies, and the affine (per-message latency)
+    // solvers.
     dls::rounds::install();
+    dls::tree::install();
+    dls::core::affine::install();
 
     println!("{p}-worker bus, c = 1, d = 0.5 (z = 1/2), w = {ws:?}\n");
     println!("{}", strategy_table(&platform).render());
@@ -24,6 +28,12 @@ fn main() {
     println!(
         "{}",
         dls::report::multiround_table(&platform, &[1, 2, 4, 8]).render()
+    );
+
+    println!("tree trade-off (unit load, makespan vs balanced-tree fanout):\n");
+    println!(
+        "{}",
+        dls::report::tree_table(&platform, &[p, 2, 1]).render()
     );
 
     // The same registry, programmatically: find the best verified strategy.

@@ -14,6 +14,9 @@
 //! * [`rounds`] — the multi-round (R-installment) planners; call
 //!   [`rounds::install`] to add the `multiround_*` strategies to
 //!   [`core::registry`];
+//! * [`tree`] — multi-level tree platforms via the star-collapse
+//!   reduction; call [`tree::install`] to add `tree_fifo`/`tree_lifo` to
+//!   [`core::registry`];
 //! * [`sim`] — the discrete-event star-network simulator (MPI-testbed
 //!   substitute);
 //! * [`report`] — tables, statistics, series files, parallel map.
@@ -42,6 +45,7 @@ pub use dls_platform as platform;
 pub use dls_report as report;
 pub use dls_rounds as rounds;
 pub use dls_sim as sim;
+pub use dls_tree as tree;
 
 /// One-import access to the items used by almost every program: the whole
 /// `dls-core` prelude (solvers, the scheduler engine, timelines) plus the

@@ -1,0 +1,92 @@
+//! Workspace integration of the affine registry wrap (Section 6 solvers
+//! behind one `SchedulerProvider`): lookup of parameterized ids, the
+//! zero-latency reduction to `optimal_fifo`, and the exact-rational upper
+//! bound on affine objectives.
+
+use dls::core::{lookup, registry};
+use dls::lp::Scalar;
+use dls::platform::Platform;
+
+fn star() -> Platform {
+    Platform::star_with_z(&[(1.0, 5.0), (2.0, 4.0), (1.5, 6.0), (0.8, 7.0)], 0.5).unwrap()
+}
+
+#[test]
+fn install_lists_the_default_and_resolves_parameterized_ids() {
+    dls::core::affine::install();
+    let names: Vec<String> = registry().iter().map(|s| s.name().to_string()).collect();
+    assert_eq!(
+        names.iter().filter(|n| *n == "affine_fifo").count(),
+        1,
+        "affine_fifo missing or duplicated: {names:?}"
+    );
+    let p = star();
+    for id in [
+        "affine_fifo",
+        "affine_fifo@prefix",
+        "affine_fifo@subset",
+        "affine_fifo@prefix:0.02",
+        "affine_fifo@subset:0.005",
+    ] {
+        let s = lookup(id).expect("affine id resolves");
+        let sol = s.solve(&p).expect("feasible latencies");
+        assert!(sol.throughput > 0.0, "{id} produced zero throughput");
+        assert!(sol.schedule.is_fifo());
+    }
+    assert!(lookup("affine_fifo@chaos").is_none());
+    assert!(lookup("affine_fifo@prefix:nan").is_none());
+}
+
+#[test]
+fn zero_latency_parameterization_reduces_to_optimal_fifo() {
+    dls::core::affine::install();
+    let p = star();
+    let affine = lookup("affine_fifo@prefix:0").unwrap().solve(&p).unwrap();
+    let opt = lookup("optimal_fifo").unwrap().solve(&p).unwrap();
+    assert!(
+        (affine.throughput - opt.throughput).abs() < 1e-7,
+        "affine zero-latency {} vs optimal {}",
+        affine.throughput,
+        opt.throughput
+    );
+}
+
+#[test]
+fn latency_costs_throughput_and_subset_dominates_prefix() {
+    dls::core::affine::install();
+    let p = star();
+    let opt = lookup("optimal_fifo")
+        .unwrap()
+        .solve(&p)
+        .unwrap()
+        .throughput;
+    let prefix = lookup("affine_fifo").unwrap().solve(&p).unwrap().throughput;
+    let subset = lookup("affine_fifo@subset")
+        .unwrap()
+        .solve(&p)
+        .unwrap()
+        .throughput;
+    assert!(prefix < opt, "latencies must cost throughput");
+    assert!(
+        subset >= prefix - 1e-9,
+        "exact search lost to the heuristic"
+    );
+}
+
+#[test]
+fn exact_rational_resolve_upper_bounds_the_affine_objective() {
+    // `solve_exact` re-solves the chosen scenario under the *linear*
+    // model (latencies dropped), so its exact objective can only exceed
+    // the affine one — the same achieved-vs-optimum pattern as no_return.
+    dls::core::affine::install();
+    let p = star();
+    for id in ["affine_fifo", "affine_fifo@subset"] {
+        let s = lookup(id).unwrap();
+        let float = s.solve(&p).unwrap().throughput;
+        let exact = s.solve_exact(&p).unwrap().throughput.to_f64();
+        assert!(
+            exact >= float - 1e-9,
+            "{id}: exact {exact} below affine {float}"
+        );
+    }
+}
