@@ -135,6 +135,7 @@ fn bench_pivot_rules(c: &mut Criterion) {
                 max_iterations: 1_000_000,
                 bland_after: 0,
                 refactor_every: 48,
+                candidate_list: 0,
             };
             black_box(solve_with::<f64>(&lp, &opts).unwrap().iterations)
         })
@@ -155,9 +156,10 @@ criterion_group!(
 // harness: `dls_bench::smoke`).
 // ---------------------------------------------------------------------------
 
-/// Times one p = 128 revised solve (best of `runs`, in nanoseconds).
-fn time_p128_ns(runs: usize) -> f64 {
-    let (_, lp) = fifo_lp(128, 7);
+/// Times one cold revised solve at worker count `p` (best of `runs`, in
+/// nanoseconds).
+fn time_cold_ns(p: usize, runs: usize) -> f64 {
+    let (_, lp) = fifo_lp(p, 7);
     let opts = SolverOptions::for_size(lp.num_vars(), lp.num_constraints());
     // Warm-up.
     black_box(solve_revised_with::<f64>(&lp, &opts, None).unwrap());
@@ -172,11 +174,17 @@ fn time_p128_ns(runs: usize) -> f64 {
 
 fn main() {
     if std::env::args().any(|a| a == "--smoke") {
+        let baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/benches/solver_baseline.json");
+        dls_bench::smoke::run_gate(baseline, "p128_revised_ns", "p=128 revised solve", |runs| {
+            time_cold_ns(128, runs)
+        });
+        // The candidate-list pricing target: the cold p=256 solve (ROADMAP
+        // follow-up from the revised-simplex PR).
         dls_bench::smoke::run_gate(
-            concat!(env!("CARGO_MANIFEST_DIR"), "/benches/solver_baseline.json"),
-            "p128_revised_ns",
-            "p=128 revised solve",
-            time_p128_ns,
+            baseline,
+            "p256_revised_ns",
+            "p=256 revised cold solve",
+            |runs| time_cold_ns(256, runs),
         );
         return;
     }

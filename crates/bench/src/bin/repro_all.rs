@@ -3,6 +3,7 @@
 //!
 //! Usage: `repro_all [--quick] [--out <dir>]` (default out dir: `results`).
 
+use dls_bench::figures::interleaved::run_interleaved_gap;
 use dls_bench::figures::sweep::{
     depth_sweep_variant, r_sweep_variant, run_depth_sweep, run_r_sweep,
 };
@@ -225,6 +226,30 @@ fn main() {
             ),
         )
         .expect("txt");
+    }
+
+    // --- Interleaved-master gap (beyond the paper; the interleaved
+    // ROADMAP item): per-lead LP optima of the merge family vs the
+    // canonical shape vs simulator replay under both master policies.
+    dls_core::interleaved::install();
+    {
+        let started = Instant::now();
+        let g_res = run_interleaved_gap(&cfg);
+        println!(
+            "{} — n = {}, {} platforms, makespans normalized by OPT_FIFO (mean {:.3} s)\n",
+            g_res.label, g_res.n, g_res.platforms, g_res.baseline_makespan
+        );
+        let g_table = g_res.table();
+        println!("{}", g_table.render());
+        println!("(interleaved gap in {:.1?})\n", started.elapsed());
+        let (xs, series) = g_res.series();
+        write_dat(&out.join("interleaved_gap.dat"), "lead", &xs, &series).expect("dat");
+        write_text(
+            &out.join("interleaved_gap.txt"),
+            &format!("{}\n\n{}", g_res.label, g_table.render()),
+        )
+        .expect("txt");
+        write_text(&out.join("interleaved_gap.csv"), &g_table.to_csv()).expect("csv");
     }
 
     // --- Figure 14 (both subfigures plus the header/text discrepancy run).

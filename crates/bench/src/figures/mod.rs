@@ -10,4 +10,5 @@ pub mod fig08;
 pub mod fig09;
 pub mod fig10_13;
 pub mod fig14;
+pub mod interleaved;
 pub mod sweep;

@@ -51,9 +51,10 @@ pub struct SweepVariant {
 
 impl SweepVariant {
     /// Resolves the configured ids against the scheduler registry
-    /// (installing the multi-round, tree and affine providers first, so
-    /// `multiround_*`, `tree_*` and `affine_*` ids — including
-    /// parameterized ones like `multiround_lp@8` or `tree_fifo@3` — are
+    /// (installing the multi-round, tree, affine and interleaved
+    /// providers first, so `multiround_*`, `tree_*`, `affine_*` and
+    /// `interleaved_*` ids — including parameterized ones like
+    /// `multiround_lp@8`, `tree_lp@3` or `interleaved_fifo@1` — are
     /// always resolvable from sweep configuration).
     ///
     /// # Panics
@@ -64,6 +65,7 @@ impl SweepVariant {
         dls_rounds::install();
         dls_tree::install();
         dls_core::affine::install();
+        dls_core::interleaved::install();
         assert!(
             !self.schedulers.is_empty(),
             "sweep variant '{}' names no schedulers",
@@ -719,15 +721,17 @@ pub struct DepthSweepVariant {
 }
 
 /// The default depth sweep: fanouts `{p, 3, 2, 1}` (star → chain) for
-/// `tree_fifo`/`tree_lifo` on the paper's heterogeneous-star family,
-/// normalized by `optimal_fifo` on the flat star.
+/// `tree_fifo`/`tree_lifo`/`tree_lp` on the paper's heterogeneous-star
+/// family, normalized by `optimal_fifo` on the flat star. `tree_lp`'s
+/// column quantifies how much of star-collapse's serialization cost the
+/// per-link LP claws back at each depth.
 pub fn depth_sweep_variant() -> DepthSweepVariant {
     let sampler = PlatformSampler::hetero_star();
     DepthSweepVariant {
         label: "tree-platform trade-off (makespan vs depth)".into(),
         fanouts: vec![sampler.workers, 3, 2, 1],
         sampler,
-        schedulers: vec!["tree_fifo".into(), "tree_lifo".into()],
+        schedulers: vec!["tree_fifo".into(), "tree_lifo".into(), "tree_lp".into()],
         baseline: "optimal_fifo".into(),
     }
 }
@@ -1257,7 +1261,78 @@ mod tests {
             );
             prev = v;
         }
+        // The tree-native LP rides the same axis and never loses to the
+        // star-collapse FIFO at any depth — its whole point.
+        let lp_at = |row: &DepthSweepRow| {
+            row.ratios
+                .iter()
+                .find(|(n, _)| n.starts_with("TREE_LP"))
+                .unwrap()
+                .1
+        };
+        for row in &res.rows {
+            assert!(
+                lp_at(row) <= fifo_at(row) + 1e-7,
+                "tree_lp lost to tree_fifo at fanout {}: {} vs {}",
+                row.fanout,
+                lp_at(row),
+                fifo_at(row)
+            );
+        }
+        // At depth >= 2 the per-link LP must claw back part of the
+        // serialization cost on average (strict improvement somewhere).
+        let improved = res
+            .rows
+            .iter()
+            .filter(|r| r.depth >= 2)
+            .any(|r| lp_at(r) < fifo_at(r) - 1e-6);
+        assert!(
+            improved,
+            "tree_lp never improved on star-collapse at depth >= 2"
+        );
         assert!(res.rows.iter().all(|r| r.skipped.is_empty()));
+    }
+
+    #[test]
+    fn interleaved_fifo_joins_an_ordinary_sweep() {
+        // The interleaved-master solver as plain sweep configuration: its
+        // lp column can never lose to the one-round FIFO optimum (INC_C on
+        // this z = 1/2 family) because the canonical lead is in its family.
+        let cfg = SweepConfig {
+            sizes: vec![80],
+            platforms: 2,
+            total_units: 50,
+            base_seed: 17,
+        };
+        let mut v = quick_variant();
+        v.schedulers = vec!["inc_c".into(), "interleaved_fifo".into()];
+        let res = run_sweep(&cfg, &v);
+        let row = &res.rows[0];
+        assert!(
+            row.skipped.is_empty(),
+            "unexpected skips: {:?}",
+            row.skipped
+        );
+        let int_lp = row
+            .ratios
+            .iter()
+            .find(|(n, _)| n == "INT_FIFO lp/INC_C lp")
+            .unwrap()
+            .1;
+        assert!(
+            (0.999..=1.001).contains(&int_lp),
+            "INT_FIFO lp ratio {int_lp} should match the canonical optimum"
+        );
+        let int_real = row
+            .ratios
+            .iter()
+            .find(|(n, _)| n == "INT_FIFO real/INC_C lp")
+            .unwrap()
+            .1;
+        assert!(
+            int_real.is_finite(),
+            "interleaved schedule failed to simulate"
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@
 
 use std::sync::Arc;
 
-use dls_lp::{Problem, Relation, SolverOptions, VarId};
+use dls_lp::SolverOptions;
 use dls_platform::{Platform, WorkerId};
 
 use crate::engine::{Execution, Provenance, Scheduler, SchedulerProvider, Solution};
@@ -113,61 +113,41 @@ pub fn affine_fifo_for_set(
     let ret_lat = |i: usize| lat.ret[order[i].index()];
     let total_lat: f64 = (0..q).map(|i| send_lat(i) + ret_lat(i)).sum();
 
-    let mut lp = Problem::maximize();
-    let alphas: Vec<VarId> = order
-        .iter()
-        .map(|id| lp.add_var(format!("alpha_{id}"), 1.0))
-        .collect();
-    let idles: Vec<VarId> = order
-        .iter()
-        .map(|id| lp.add_var(format!("x_{id}"), 0.0))
-        .collect();
-
-    let mut feasible = true;
-    for (k, &id) in order.iter().enumerate() {
-        let w_i = platform.worker(id);
-        // Latency charge: all forward messages up to k, all returns from k.
+    // Latencies only *shift the right-hand sides*: the coefficient matrix
+    // is the canonical scenario's, built once in
+    // `lp_model::scenario_model_with_rhs` (the single source of the
+    // (2a)/(2b) rows). Per-row budget: all forward latencies up to k plus
+    // all return latencies from k onward.
+    let mut deadline_rhs = Vec::with_capacity(q);
+    for k in 0..q {
         let fixed: f64 = (0..=k).map(send_lat).sum::<f64>() + (k..q).map(ret_lat).sum::<f64>();
         let rhs = 1.0 - fixed;
         if rhs < 0.0 {
-            feasible = false;
-            break;
+            return Ok(None);
         }
-        let mut coeffs: Vec<(VarId, f64)> = Vec::with_capacity(q + 2);
-        for (l, &jd) in order.iter().enumerate().take(k + 1) {
-            coeffs.push((alphas[l], platform.worker(jd).c));
-        }
-        coeffs.push((alphas[k], w_i.w));
-        coeffs.push((idles[k], 1.0));
-        for (l, &jd) in order.iter().enumerate().skip(k) {
-            coeffs.push((alphas[l], platform.worker(jd).d));
-        }
-        lp.add_constraint(format!("deadline_{id}"), coeffs, Relation::Le, rhs);
+        deadline_rhs.push(rhs);
     }
     let one_port_rhs = 1.0 - total_lat;
     if one_port_rhs < 0.0 {
-        feasible = false;
-    }
-    if !feasible {
         return Ok(None);
     }
-    lp.add_constraint(
-        "one_port",
-        order.iter().enumerate().map(|(k, &id)| {
-            let w = platform.worker(id);
-            (alphas[k], w.c + w.d)
-        }),
-        Relation::Le,
+    let (ir, vars) = crate::lp_model::scenario_model_with_rhs(
+        platform,
+        order,
+        order,
+        crate::schedule::PortModel::OnePort,
+        &deadline_rhs,
         one_port_rhs,
-    );
+    )?;
 
+    let lp = ir.lower();
     let sol = dls_lp::solve_with::<f64>(
         &lp,
         &SolverOptions::for_size(lp.num_vars(), lp.num_constraints()),
     )?;
     let mut loads = vec![0.0; platform.num_workers()];
     for (k, &id) in order.iter().enumerate() {
-        loads[id.index()] = sol.value(alphas[k]).max(0.0);
+        loads[id.index()] = sol.value(vars.alphas[k]).max(0.0);
     }
     let schedule = Schedule::fifo(platform, order.to_vec(), loads)?;
     Ok(Some(AffineSolution {

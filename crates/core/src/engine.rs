@@ -45,7 +45,7 @@ use crate::schedule::{PortModel, Schedule};
 use crate::timeline::Timeline;
 
 /// How a [`Solution`] was obtained.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Provenance {
     /// A scenario LP solved with the simplex (`iterations` pivots).
     Lp {
@@ -62,6 +62,20 @@ pub enum Provenance {
     Search {
         /// Scenarios (LPs) evaluated.
         evaluated: usize,
+    },
+    /// An LP **relaxation** paired with a replay-achieved value: the
+    /// solution's reported throughput was achieved by an executable
+    /// schedule (simulator replay or expansion), while `bound` is the
+    /// relaxation's own optimum — a certified upper bound on what *any*
+    /// schedule of the instance can achieve. Used by the tree-native
+    /// per-link LP (`tree_lp`), whose formulation relaxes message ordering
+    /// but whose store-and-forward replay is exact; `bound - throughput`
+    /// is the remaining pipelining gap.
+    LpBound {
+        /// Simplex pivots of the relaxation solve.
+        iterations: usize,
+        /// The relaxation's optimal throughput (a valid upper bound).
+        bound: f64,
     },
 }
 

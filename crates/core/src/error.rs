@@ -38,6 +38,16 @@ pub enum CoreError {
         /// Maximum supported for this platform size.
         limit: usize,
     },
+    /// A pinned interleaved-master lead exceeds the platform's enrollment:
+    /// the merge family only defines leads `1..=q`, so
+    /// `interleaved_fifo@<lead>` does not apply to smaller platforms
+    /// (silently clamping would mislabel the canonical merge's result).
+    LeadBeyondEnrollment {
+        /// The pinned lead.
+        lead: usize,
+        /// Enrolled workers (= the largest valid lead).
+        enrolled: usize,
+    },
 }
 
 impl CoreError {
@@ -55,6 +65,7 @@ impl CoreError {
                 | CoreError::NotZTied
                 | CoreError::TooManyWorkers { .. }
                 | CoreError::TooManyRounds { .. }
+                | CoreError::LeadBeyondEnrollment { .. }
         )
     }
 }
@@ -76,6 +87,11 @@ impl fmt::Display for CoreError {
             CoreError::TooManyRounds { rounds, limit } => write!(
                 f,
                 "multi-round plan limited to {limit} rounds on this platform, requested {rounds}"
+            ),
+            CoreError::LeadBeyondEnrollment { lead, enrolled } => write!(
+                f,
+                "interleaved lead {lead} exceeds the {enrolled}-worker enrollment \
+                 (valid leads are 1..={enrolled})"
             ),
         }
     }
@@ -126,6 +142,11 @@ mod tests {
         assert!(CoreError::TooManyRounds {
             rounds: 4096,
             limit: 512
+        }
+        .is_applicability());
+        assert!(CoreError::LeadBeyondEnrollment {
+            lead: 9,
+            enrolled: 4
         }
         .is_applicability());
         assert!(!CoreError::from(LpError::Infeasible).is_applicability());

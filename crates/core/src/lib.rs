@@ -54,6 +54,7 @@ pub mod diagnosis;
 pub mod engine;
 mod error;
 pub mod fifo;
+pub mod interleaved;
 pub mod lifo;
 pub mod lp_model;
 pub mod no_return;
@@ -83,9 +84,13 @@ pub mod prelude {
         SchedulerProvider, Solution,
     };
     pub use crate::fifo::{inc_c_fifo, inc_w_fifo, optimal_fifo, theorem1_order};
+    pub use crate::interleaved::{
+        interleaved_fifo, interleaved_fifo_for_order, interleaved_profile, InterleavedSolution,
+    };
     pub use crate::lifo::optimal_lifo;
     pub use crate::lp_model::{
-        solve_fifo, solve_lifo, solve_scenario, warm_start_stats, with_engine, LpEngine, LpSchedule,
+        scenario_model, solve_fifo, solve_lifo, solve_model, solve_scenario, warm_start_stats,
+        with_engine, LpEngine, LpSchedule, ModelSolution,
     };
     pub use crate::no_return::{no_return_platform, optimal_no_return};
     pub use crate::rounding::{integer_schedule, round_loads};

@@ -22,6 +22,14 @@
 //! shape — sends back-to-back from time 0, returns back-to-back ending at
 //! `T` — which the paper shows is without loss of generality.
 //!
+//! The formulation is built on the **schedule-model IR** of `dls-lp`
+//! ([`scenario_model`] returns the [`ScheduleModel`]; [`build_problem`]
+//! lowers it), so LP variants that keep the canonical shape — the
+//! multi-round expanded scenarios, the affine-latency rows — share this
+//! single source of the (2a)/(2b) rows, and variants that drop it (the
+//! interleaved-master and tree-native families) reuse the same group and
+//! combinator vocabulary plus the [`solve_model`] engine router.
+//!
 //! The builder is exposed ([`build_problem`]) so tests can solve the same
 //! LP with the exact rational backend.
 
@@ -29,7 +37,7 @@ use std::cell::{Cell, RefCell};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use dls_lp::{BasisCache, LpError, Problem, Relation, Scalar, SolverOptions, VarId};
+use dls_lp::{BasisCache, LpError, Problem, Scalar, ScheduleModel, SolverOptions, VarId};
 use dls_platform::{Platform, WorkerId};
 
 use crate::error::CoreError;
@@ -171,28 +179,66 @@ fn check_orders(
     .map(|_| ())
 }
 
-/// Builds the scenario LP for `(σ1, σ2)` under `model`.
+/// Builds the scenario **schedule-model IR** for `(σ1, σ2)` under `model`
+/// — the canonical sends-then-returns shape as [`ScheduleModel`] groups
+/// (`alpha` loads, `idle` gaps) and tagged rows (per-worker
+/// [deadlines](ScheduleModel::deadline), the
+/// [one-port](ScheduleModel::one_port) capacity row).
 ///
-/// Returns the problem plus variable handles (enrolled indexing follows
-/// `send_order`).
-pub fn build_problem(
+/// This is the single source of the paper's LP (2): [`build_problem`]
+/// lowers it to a raw [`Problem`], [`solve_scenario`] solves it through
+/// the engine router, and the multi-round planner (`dls-rounds`) builds
+/// its expanded round-major scenario on the same function — an LP variant
+/// that keeps the canonical shape only has to append rows to the returned
+/// model before solving it with [`solve_model`].
+pub fn scenario_model(
     platform: &Platform,
     send_order: &[WorkerId],
     return_order: &[WorkerId],
     model: PortModel,
-) -> Result<(Problem, LpVars), CoreError> {
+) -> Result<(ScheduleModel, LpVars), CoreError> {
+    let deadline_rhs = vec![1.0; send_order.len()];
+    scenario_model_with_rhs(
+        platform,
+        send_order,
+        return_order,
+        model,
+        &deadline_rhs,
+        1.0,
+    )
+}
+
+/// [`scenario_model`] with caller-supplied right-hand sides: one horizon
+/// budget per enrolled worker's deadline row (send order) plus the
+/// one-port row's budget. The coefficient matrix is exactly the canonical
+/// scenario's — this is the affine family's entry point, where fixed
+/// per-message latencies only *shift the right-hand sides* — so the
+/// (2a)/(2b) row emission has a single source.
+///
+/// # Panics
+/// Panics when `deadline_rhs` does not have one entry per enrolled worker.
+pub fn scenario_model_with_rhs(
+    platform: &Platform,
+    send_order: &[WorkerId],
+    return_order: &[WorkerId],
+    model: PortModel,
+    deadline_rhs: &[f64],
+    one_port_rhs: f64,
+) -> Result<(ScheduleModel, LpVars), CoreError> {
     check_orders(platform, send_order, return_order)?;
     let q = send_order.len();
-    let mut lp = Problem::maximize();
+    assert_eq!(
+        deadline_rhs.len(),
+        q,
+        "one deadline budget per enrolled worker"
+    );
+    let mut ir = ScheduleModel::maximize();
 
-    let alphas: Vec<VarId> = send_order
-        .iter()
-        .map(|id| lp.add_var(format!("alpha_{id}"), 1.0))
-        .collect();
-    let idles: Vec<VarId> = send_order
-        .iter()
-        .map(|id| lp.add_var(format!("x_{id}"), 0.0))
-        .collect();
+    let alpha_group = ir.group(
+        "alpha",
+        send_order.iter().map(|id| (format!("alpha_{id}"), 1.0)),
+    );
+    let idle_group = ir.group("idle", send_order.iter().map(|id| (format!("x_{id}"), 0.0)));
 
     // Enrolled position maps.
     let mut send_pos = vec![usize::MAX; platform.num_workers()];
@@ -208,37 +254,127 @@ pub fn build_problem(
     for (k, &id) in send_order.iter().enumerate() {
         let w_i = platform.worker(id);
         let m = return_pos[id.index()];
-        let mut coeffs: Vec<(VarId, f64)> = Vec::with_capacity(q + 2);
+        let mut coeffs: Vec<(dls_lp::MVar, f64)> = Vec::with_capacity(q + 2);
         // Sends up to and including position k.
         for (l, &jd) in send_order.iter().enumerate().take(k + 1) {
-            coeffs.push((alphas[l], platform.worker(jd).c));
+            coeffs.push((alpha_group.var(l), platform.worker(jd).c));
         }
         // Own computation.
-        coeffs.push((alphas[k], w_i.w));
+        coeffs.push((alpha_group.var(k), w_i.w));
         // Own idle gap.
-        coeffs.push((idles[k], 1.0));
+        coeffs.push((idle_group.var(k), 1.0));
         // Returns from position m through the end.
         for &jd in return_order.iter().skip(m) {
             let enrolled = send_pos[jd.index()];
-            coeffs.push((alphas[enrolled], platform.worker(jd).d));
+            coeffs.push((alpha_group.var(enrolled), platform.worker(jd).d));
         }
-        lp.add_constraint(format!("deadline_{id}"), coeffs, Relation::Le, 1.0);
+        ir.deadline(format!("deadline_{id}"), coeffs, deadline_rhs[k]);
     }
 
-    // (2b) one-port: total master communication time within T.
+    // (2b) one-port: total master communication time within the budget.
     if model == PortModel::OnePort {
-        let coeffs: Vec<(VarId, f64)> = send_order
+        let coeffs: Vec<(dls_lp::MVar, f64)> = send_order
             .iter()
             .enumerate()
             .map(|(k, &id)| {
                 let w = platform.worker(id);
-                (alphas[k], w.c + w.d)
+                (alpha_group.var(k), w.c + w.d)
             })
             .collect();
-        lp.add_constraint("one_port", coeffs, Relation::Le, 1.0);
+        ir.one_port("one_port", coeffs, one_port_rhs);
     }
 
-    Ok((lp, LpVars { alphas, idles }))
+    let vars = LpVars {
+        alphas: alpha_group.var_ids(),
+        idles: idle_group.var_ids(),
+    };
+    Ok((ir, vars))
+}
+
+/// Builds the scenario LP for `(σ1, σ2)` under `model` by lowering
+/// [`scenario_model`] — byte-identical columns and rows to the historical
+/// hand-rolled builder (pinned by the `ir_lowering_is_byte_identical`
+/// test), so external consumers of the raw [`Problem`] see no change.
+///
+/// Returns the problem plus variable handles (enrolled indexing follows
+/// `send_order`).
+pub fn build_problem(
+    platform: &Platform,
+    send_order: &[WorkerId],
+    return_order: &[WorkerId],
+    model: PortModel,
+) -> Result<(Problem, LpVars), CoreError> {
+    let (ir, vars) = scenario_model(platform, send_order, return_order, model)?;
+    Ok((ir.lower(), vars))
+}
+
+/// Result of solving a [`ScheduleModel`] through the engine router.
+#[derive(Debug, Clone)]
+pub struct ModelSolution {
+    /// Optimal value per model variable, in declaration order (index with
+    /// [`dls_lp::MVar::index`] or [`VarId::index`]).
+    pub values: Vec<f64>,
+    /// Optimal objective.
+    pub objective: f64,
+    /// Simplex pivots used.
+    pub iterations: usize,
+    /// `true` when the solve reused a cached basis (revised engine only).
+    pub warm_start: bool,
+}
+
+impl ModelSolution {
+    /// Value of one lowered variable.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.values[v.index()]
+    }
+}
+
+/// Solves a schedule-model IR through the thread's [`current_engine`] and
+/// per-thread [`BasisCache`], exactly like the scenario LPs: the revised
+/// engine warm-starts from the basis cached under `key` (defaulting to the
+/// model's own [`ScheduleModel::cache_key`]) and numerical failures retry
+/// once on the tableau. Counts toward [`warm_start_stats`].
+///
+/// This is the engine entry point for IR-built LP variants (the
+/// interleaved-master and tree-native families); the canonical scenario
+/// path keeps its platform-derived key so FIFO-family strategies continue
+/// to share basis slots.
+pub fn solve_model(model: &ScheduleModel, key: Option<u64>) -> Result<ModelSolution, CoreError> {
+    let lp = model.lower();
+    let key = key.unwrap_or_else(|| model.cache_key());
+    solve_lowered(&lp, key)
+}
+
+/// Shared engine router for a lowered problem under a caller-chosen cache
+/// key.
+fn solve_lowered(lp: &Problem, key: u64) -> Result<ModelSolution, CoreError> {
+    let opts = SolverOptions::for_size(lp.num_vars(), lp.num_constraints());
+    let (sol, warm_start) = match current_engine() {
+        LpEngine::Tableau => (dls_lp::solve_with::<f64>(lp, &opts)?, false),
+        LpEngine::Revised => {
+            let res = BASIS_CACHE.with(|c| c.borrow_mut().solve::<f64>(key, lp, &opts));
+            match res {
+                Ok(r) => (r.solution, r.warm_started),
+                // Infeasible/unbounded are real answers; numerical failures
+                // (iteration limit, singular refactorization) get one shot
+                // on the tableau before surfacing.
+                Err(LpError::IterationLimit { .. }) | Err(LpError::SingularBasis) => {
+                    (dls_lp::solve_with::<f64>(lp, &opts)?, false)
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    };
+    LP_SOLVES.fetch_add(1, Ordering::Relaxed);
+    if warm_start {
+        WARM_HITS.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(ModelSolution {
+        values: sol.x,
+        objective: sol.objective,
+        iterations: sol.iterations,
+        warm_start,
+    })
 }
 
 /// Solves the scenario LP and packages the optimal schedule.
@@ -254,30 +390,12 @@ pub fn solve_scenario(
     return_order: &[WorkerId],
     model: PortModel,
 ) -> Result<LpSchedule, CoreError> {
-    let (lp, vars) = build_problem(platform, send_order, return_order, model)?;
-    let opts = SolverOptions::for_size(lp.num_vars(), lp.num_constraints());
-
-    let (sol, warm_start) = match current_engine() {
-        LpEngine::Tableau => (dls_lp::solve_with::<f64>(&lp, &opts)?, false),
-        LpEngine::Revised => {
-            let key = scenario_cache_key(platform, send_order, return_order, model);
-            let res = BASIS_CACHE.with(|c| c.borrow_mut().solve::<f64>(key, &lp, &opts));
-            match res {
-                Ok(r) => (r.solution, r.warm_started),
-                // Infeasible/unbounded are real answers; numerical failures
-                // (iteration limit, singular refactorization) get one shot
-                // on the tableau before surfacing.
-                Err(LpError::IterationLimit { .. }) | Err(LpError::SingularBasis) => {
-                    (dls_lp::solve_with::<f64>(&lp, &opts)?, false)
-                }
-                Err(e) => return Err(e.into()),
-            }
-        }
-    };
-    LP_SOLVES.fetch_add(1, Ordering::Relaxed);
-    if warm_start {
-        WARM_HITS.fetch_add(1, Ordering::Relaxed);
-    }
+    let (ir, vars) = scenario_model(platform, send_order, return_order, model)?;
+    // The platform-derived key (not the IR's structural key) so the
+    // FIFO-family strategies keep sharing one basis slot per platform —
+    // the pre-IR warm-start behavior, bit for bit.
+    let key = scenario_cache_key(platform, send_order, return_order, model);
+    let sol = solve_lowered(&ir.lower(), key)?;
 
     let mut loads = vec![0.0; platform.num_workers()];
     let mut lp_idles = vec![0.0; platform.num_workers()];
@@ -291,7 +409,7 @@ pub fn solve_scenario(
         schedule,
         lp_idles,
         iterations: sol.iterations,
-        warm_start,
+        warm_start: sol.warm_start,
     })
 }
 
@@ -481,6 +599,143 @@ mod tests {
         let (h1, s1) = warm_start_stats();
         assert!(s1 >= s0 + 2);
         assert!(h1 > h0, "second identical solve must count as a warm hit");
+    }
+
+    /// The pre-IR hand-rolled builder, kept verbatim as a golden: the IR
+    /// lowering must reproduce its output *byte for byte* (names, labels,
+    /// objective, row order, coefficient order), so warm-start keys and
+    /// cached bases carry over across the refactor.
+    fn golden_build_problem(
+        platform: &Platform,
+        send_order: &[WorkerId],
+        return_order: &[WorkerId],
+        model: PortModel,
+    ) -> Problem {
+        use dls_lp::Relation;
+        let q = send_order.len();
+        let mut lp = Problem::maximize();
+        let alphas: Vec<VarId> = send_order
+            .iter()
+            .map(|id| lp.add_var(format!("alpha_{id}"), 1.0))
+            .collect();
+        let idles: Vec<VarId> = send_order
+            .iter()
+            .map(|id| lp.add_var(format!("x_{id}"), 0.0))
+            .collect();
+        let mut send_pos = vec![usize::MAX; platform.num_workers()];
+        for (k, id) in send_order.iter().enumerate() {
+            send_pos[id.index()] = k;
+        }
+        let mut return_pos = vec![usize::MAX; platform.num_workers()];
+        for (m, id) in return_order.iter().enumerate() {
+            return_pos[id.index()] = m;
+        }
+        for (k, &id) in send_order.iter().enumerate() {
+            let w_i = platform.worker(id);
+            let m = return_pos[id.index()];
+            let mut coeffs: Vec<(VarId, f64)> = Vec::with_capacity(q + 2);
+            for (l, &jd) in send_order.iter().enumerate().take(k + 1) {
+                coeffs.push((alphas[l], platform.worker(jd).c));
+            }
+            coeffs.push((alphas[k], w_i.w));
+            coeffs.push((idles[k], 1.0));
+            for &jd in return_order.iter().skip(m) {
+                let enrolled = send_pos[jd.index()];
+                coeffs.push((alphas[enrolled], platform.worker(jd).d));
+            }
+            lp.add_constraint(format!("deadline_{id}"), coeffs, Relation::Le, 1.0);
+        }
+        if model == PortModel::OnePort {
+            let coeffs: Vec<(VarId, f64)> = send_order
+                .iter()
+                .enumerate()
+                .map(|(k, &id)| {
+                    let w = platform.worker(id);
+                    (alphas[k], w.c + w.d)
+                })
+                .collect();
+            lp.add_constraint("one_port", coeffs, Relation::Le, 1.0);
+        }
+        lp
+    }
+
+    #[test]
+    fn ir_lowering_is_byte_identical() {
+        let p = platform();
+        for (send, ret) in [
+            (ids(&[0, 1, 2]), ids(&[0, 1, 2])),
+            (ids(&[2, 0, 1]), ids(&[1, 0, 2])),
+            (ids(&[1]), ids(&[1])),
+        ] {
+            for model in [PortModel::OnePort, PortModel::TwoPort] {
+                let golden = golden_build_problem(&p, &send, &ret, model);
+                let (built, vars) = build_problem(&p, &send, &ret, model).unwrap();
+                assert_eq!(built.num_vars(), golden.num_vars());
+                assert_eq!(built.num_constraints(), golden.num_constraints());
+                assert_eq!(built.objective(), golden.objective());
+                for (a, b) in built.constraints().iter().zip(golden.constraints()) {
+                    assert_eq!(a.label, b.label);
+                    assert_eq!(a.relation, b.relation);
+                    assert_eq!(a.rhs, b.rhs);
+                    assert_eq!(
+                        a.coeffs, b.coeffs,
+                        "coefficient lists diverge in {}",
+                        a.label
+                    );
+                }
+                // The rendered LP text (the strongest byte-level witness).
+                assert_eq!(built.to_lp_format(), golden.to_lp_format());
+                // Variable handles line up with the golden declaration order.
+                assert_eq!(vars.alphas.len(), send.len());
+                assert_eq!(vars.idles[0].index(), send.len());
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_model_exposes_structure() {
+        let p = platform();
+        let (ir, _) =
+            scenario_model(&p, &ids(&[0, 1, 2]), &ids(&[0, 1, 2]), PortModel::OnePort).unwrap();
+        assert_eq!(ir.num_vars(), 6);
+        assert_eq!(ir.num_rows(), 4);
+        let kinds: Vec<dls_lp::RowKind> = ir.row_kinds().collect();
+        assert_eq!(
+            kinds,
+            vec![
+                dls_lp::RowKind::Deadline,
+                dls_lp::RowKind::Deadline,
+                dls_lp::RowKind::Deadline,
+                dls_lp::RowKind::OnePort,
+            ]
+        );
+        // Same scenario -> same structural key; different port model ->
+        // different key (the one-port row vanishes).
+        let (again, _) =
+            scenario_model(&p, &ids(&[0, 1, 2]), &ids(&[0, 1, 2]), PortModel::OnePort).unwrap();
+        assert_eq!(ir.cache_key(), again.cache_key());
+        let (two, _) =
+            scenario_model(&p, &ids(&[0, 1, 2]), &ids(&[0, 1, 2]), PortModel::TwoPort).unwrap();
+        assert_ne!(ir.cache_key(), two.cache_key());
+    }
+
+    #[test]
+    fn solve_model_routes_through_cache_and_stats() {
+        let p = platform();
+        let (ir, vars) =
+            scenario_model(&p, &ids(&[0, 1, 2]), &ids(&[0, 1, 2]), PortModel::OnePort).unwrap();
+        let (h0, s0) = warm_start_stats();
+        let first = solve_model(&ir, None).unwrap();
+        let again = solve_model(&ir, None).unwrap();
+        let (h1, s1) = warm_start_stats();
+        assert!(s1 >= s0 + 2);
+        assert!(h1 > h0, "identical IR re-solve must hit the basis cache");
+        assert!(again.warm_start);
+        assert!((first.objective - again.objective).abs() < 1e-12);
+        // The router and the scenario path agree on the optimum.
+        let scenario = solve_fifo(&p, &ids(&[0, 1, 2]), PortModel::OnePort).unwrap();
+        assert!((first.objective - scenario.throughput).abs() < 1e-9);
+        assert!((first.value(vars.alphas[0]) - scenario.schedule.load(WorkerId(0))).abs() < 1e-9);
     }
 
     #[test]

@@ -13,9 +13,16 @@
 //! * the **dense tableau** ([`solve`], [`solve_with`]) — two-phase primal
 //!   simplex, the fastest cold solver on these LPs;
 //! * the **revised simplex** ([`solve_revised`], [`solve_revised_with`]) —
-//!   eta-file product-form basis inverse with periodic refactorization and
+//!   eta-file product-form basis inverse with periodic refactorization,
+//!   candidate-list (partial) pricing on wide instances, and
 //!   **warm starts** from a caller-supplied [`Basis`]; the [`BasisCache`]
 //!   amortizes families of related instances (the sweeps' access pattern).
+//!
+//! Above the raw [`Problem`] builder sits the **schedule-model IR**
+//! ([`ScheduleModel`]): named variable groups, tagged constraint
+//! combinators (deadline/one-port/capacity/precedence), deterministic
+//! lowering and structural cache keys — the shared vocabulary every
+//! divisible-load LP variant in the workspace is built from.
 //!
 //! Both are generic over the [`Scalar`] backend:
 //!
@@ -44,6 +51,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod model;
 mod problem;
 mod rational;
 mod revised;
@@ -51,6 +59,7 @@ mod scalar;
 mod simplex;
 
 pub use error::LpError;
+pub use model::{MVar, RowKind, ScheduleModel, StandardShape, VarGroup};
 pub use problem::{Constraint, Problem, Relation, Sense, VarId};
 pub use rational::Rational;
 pub use revised::{solve_revised, solve_revised_with, Basis, BasisCache, RevisedSolution};

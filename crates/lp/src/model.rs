@@ -1,0 +1,621 @@
+//! Schedule-model IR: a structured layer between the divisible-load
+//! solvers and the raw [`Problem`] builder.
+//!
+//! Every LP-backed strategy in the workspace used to hand-roll its
+//! constraint rows around the paper's sends-then-returns canonical shape,
+//! which made each new LP variant (multi-round, affine, interleaved
+//! master, tree-native per-link) a cross-crate fork of the same
+//! row-emission code. A [`ScheduleModel`] names the *structure* instead:
+//!
+//! * **variable groups** ([`ScheduleModel::group`]) — `alpha` loads,
+//!   `x` idle gaps, per-message start times — declared in a deterministic
+//!   group-major order, so the lowered column order (and therefore the
+//!   standardized [`column layout`](crate::simplex) both solver engines
+//!   share) is a function of the model alone;
+//! * **constraint combinators** — [`deadline`](ScheduleModel::deadline),
+//!   [`one_port`](ScheduleModel::one_port),
+//!   [`capacity`](ScheduleModel::capacity),
+//!   [`precedence`](ScheduleModel::precedence) — that tag each row with a
+//!   [`RowKind`], keeping the scheduling semantics visible to debuggers
+//!   and the cache-key derivation;
+//! * **deterministic lowering** ([`ScheduleModel::lower`]) — variables in
+//!   declaration order, rows in declaration order: two identical model
+//!   builds produce byte-identical [`Problem`]s, which is what lets the
+//!   refactored `dls-core` builders keep their pre-IR warm-start behavior
+//!   bit for bit;
+//! * **cache-key derivation** ([`ScheduleModel::cache_key`]) — a
+//!   structural fingerprint (groups, row kinds, relations, coefficient
+//!   bits) for keying a [`BasisCache`](crate::BasisCache) without every
+//!   caller reinventing a platform hash;
+//! * **standardized-shape derivation**
+//!   ([`ScheduleModel::standard_shape`]) — the row/column counts of the
+//!   standardized instance, mirroring the solver's own standardization, so
+//!   model authors can check up front whether two variants are
+//!   basis-compatible (the prerequisite for warm-starting one from the
+//!   other).
+//!
+//! ```
+//! use dls_lp::{ScheduleModel, solve};
+//!
+//! // One worker, canonical shape: alpha (c + w + d) <= 1.
+//! let mut m = ScheduleModel::maximize();
+//! let alpha = m.group("alpha", [("alpha_P1".to_string(), 1.0)]);
+//! let idle = m.group("idle", [("x_P1".to_string(), 0.0)]);
+//! m.deadline(
+//!     "deadline_P1",
+//!     [(alpha.var(0), 2.0 + 3.0 + 1.0), (idle.var(0), 1.0)],
+//!     1.0,
+//! );
+//! m.one_port("one_port", [(alpha.var(0), 3.0)], 1.0);
+//! let sol = solve(&m.lower()).unwrap();
+//! assert!((sol.objective - 1.0 / 6.0).abs() < 1e-9);
+//! ```
+
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+
+use crate::problem::{Problem, Relation, Sense, VarId};
+
+/// Handle to one model variable: its absolute column index in the lowered
+/// [`Problem`]. Obtained from [`VarGroup::var`]; valid for the model that
+/// declared it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MVar(usize);
+
+impl MVar {
+    /// The lowered [`VarId`] of this variable (lowering preserves
+    /// declaration order, so the mapping is the identity on indices).
+    pub fn var_id(self) -> VarId {
+        VarId(self.0)
+    }
+
+    /// Absolute column index in the lowered problem.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A contiguous, named group of model variables (e.g. the `alpha` loads of
+/// every enrolled worker). Groups lower in declaration order, members in
+/// member order.
+#[derive(Debug, Clone)]
+pub struct VarGroup {
+    name: String,
+    range: Range<usize>,
+}
+
+impl VarGroup {
+    /// The group's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of member variables.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// `true` when the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// Member `i` of the group.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    pub fn var(&self, i: usize) -> MVar {
+        assert!(
+            i < self.len(),
+            "group '{}' has {} members",
+            self.name,
+            self.len()
+        );
+        MVar(self.range.start + i)
+    }
+
+    /// All members, in declaration order.
+    pub fn vars(&self) -> impl Iterator<Item = MVar> + '_ {
+        self.range.clone().map(MVar)
+    }
+
+    /// The lowered [`VarId`]s of every member, in declaration order.
+    pub fn var_ids(&self) -> Vec<VarId> {
+        self.range.clone().map(VarId).collect()
+    }
+}
+
+/// Scheduling role of a model row — recorded for debuggability and hashed
+/// into the [`cache key`](ScheduleModel::cache_key) so structurally
+/// different formulations never share a basis slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowKind {
+    /// A per-worker horizon constraint (the paper's (2a) rows).
+    Deadline,
+    /// The master's one-port capacity row (the paper's (2b) row).
+    OnePort,
+    /// A per-resource capacity row (tree links, relay ports).
+    Capacity,
+    /// An ordering constraint between event variables (`later ≥ earlier +
+    /// duration`).
+    Precedence,
+    /// Anything else (caller-shaped rows added via the raw relations).
+    Custom,
+}
+
+/// One IR row: a tagged, labeled sparse constraint.
+#[derive(Debug, Clone)]
+struct ModelRow {
+    label: String,
+    kind: RowKind,
+    terms: Vec<(usize, f64)>,
+    relation: Relation,
+    rhs: f64,
+}
+
+/// Row/column counts of the standardized instance a model lowers to,
+/// mirroring the solver engines' own standardization (negative right-hand
+/// sides flip the relation). Two models are basis-compatible — a cached
+/// [`Basis`](crate::Basis) from one can warm-start the other — exactly
+/// when their shapes match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StandardShape {
+    /// Structural (declared) variables.
+    pub structural: usize,
+    /// Slack/surplus columns (one per standardized `<=`/`>=` row).
+    pub logicals: usize,
+    /// Artificial columns (one per standardized `>=`/`==` row).
+    pub artificials: usize,
+    /// Constraint rows.
+    pub rows: usize,
+}
+
+impl StandardShape {
+    /// Total standardized column count.
+    pub fn cols(&self) -> usize {
+        self.structural + self.logicals + self.artificials
+    }
+
+    /// `true` when a basis taken from a model of this shape fits a model
+    /// of `other`'s shape.
+    pub fn basis_compatible(&self, other: &StandardShape) -> bool {
+        self == other
+    }
+}
+
+/// The schedule-model IR: named variable groups plus tagged constraint
+/// rows, lowered deterministically to a [`Problem`]. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ScheduleModel {
+    sense: Sense,
+    names: Vec<String>,
+    objective: Vec<f64>,
+    groups: Vec<VarGroup>,
+    rows: Vec<ModelRow>,
+}
+
+impl ScheduleModel {
+    /// An empty model with the given optimization direction.
+    pub fn new(sense: Sense) -> Self {
+        ScheduleModel {
+            sense,
+            names: Vec::new(),
+            objective: Vec::new(),
+            groups: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor for maximization models.
+    pub fn maximize() -> Self {
+        Self::new(Sense::Maximize)
+    }
+
+    /// Convenience constructor for minimization models.
+    pub fn minimize() -> Self {
+        Self::new(Sense::Minimize)
+    }
+
+    /// Declares a named group of non-negative variables; `members` yields
+    /// `(variable name, objective coefficient)` pairs. Returns the group
+    /// handle whose [`VarGroup::var`]s feed the constraint combinators.
+    pub fn group(
+        &mut self,
+        name: impl Into<String>,
+        members: impl IntoIterator<Item = (String, f64)>,
+    ) -> VarGroup {
+        let start = self.names.len();
+        for (member, obj) in members {
+            self.names.push(member);
+            self.objective.push(obj);
+        }
+        let group = VarGroup {
+            name: name.into(),
+            range: start..self.names.len(),
+        };
+        self.groups.push(group.clone());
+        group
+    }
+
+    fn add_row(
+        &mut self,
+        label: impl Into<String>,
+        kind: RowKind,
+        terms: impl IntoIterator<Item = (MVar, f64)>,
+        relation: Relation,
+        rhs: f64,
+    ) {
+        let label = label.into();
+        let terms: Vec<(usize, f64)> = terms.into_iter().map(|(v, c)| (v.0, c)).collect();
+        debug_assert!(
+            terms.iter().all(|&(i, _)| i < self.names.len()),
+            "row '{label}' references an undeclared variable"
+        );
+        self.rows.push(ModelRow {
+            label,
+            kind,
+            terms,
+            relation,
+            rhs,
+        });
+    }
+
+    /// A per-worker horizon row: `Σ terms ≤ rhs` (the paper's (2a) shape).
+    pub fn deadline(
+        &mut self,
+        label: impl Into<String>,
+        terms: impl IntoIterator<Item = (MVar, f64)>,
+        rhs: f64,
+    ) {
+        self.add_row(label, RowKind::Deadline, terms, Relation::Le, rhs);
+    }
+
+    /// The master's one-port capacity row: `Σ terms ≤ rhs` (the paper's
+    /// (2b) shape).
+    pub fn one_port(
+        &mut self,
+        label: impl Into<String>,
+        terms: impl IntoIterator<Item = (MVar, f64)>,
+        rhs: f64,
+    ) {
+        self.add_row(label, RowKind::OnePort, terms, Relation::Le, rhs);
+    }
+
+    /// A per-resource capacity row (`Σ terms ≤ rhs`): a tree link, a relay
+    /// port, any shared medium that serializes traffic.
+    pub fn capacity(
+        &mut self,
+        label: impl Into<String>,
+        terms: impl IntoIterator<Item = (MVar, f64)>,
+        rhs: f64,
+    ) {
+        self.add_row(label, RowKind::Capacity, terms, Relation::Le, rhs);
+    }
+
+    /// An ordering row between event variables: `later ≥ earlier +
+    /// Σ durations`, i.e. `later - earlier - Σ durations ≥ 0`. This is the
+    /// one-port *disjunction resolved by a fixed order*: once the port
+    /// sequence is pinned (by σ/FIFO), each adjacent pair needs exactly one
+    /// of these rows.
+    pub fn precedence(
+        &mut self,
+        label: impl Into<String>,
+        later: MVar,
+        earlier: MVar,
+        durations: impl IntoIterator<Item = (MVar, f64)>,
+    ) {
+        let mut terms: Vec<(MVar, f64)> = vec![(later, 1.0), (earlier, -1.0)];
+        terms.extend(durations.into_iter().map(|(v, c)| (v, -c)));
+        self.add_row(label, RowKind::Precedence, terms, Relation::Ge, 0.0);
+    }
+
+    /// An ordering row against the start of time: `event ≥ Σ durations`.
+    pub fn release(
+        &mut self,
+        label: impl Into<String>,
+        event: MVar,
+        durations: impl IntoIterator<Item = (MVar, f64)>,
+    ) {
+        let mut terms: Vec<(MVar, f64)> = vec![(event, 1.0)];
+        terms.extend(durations.into_iter().map(|(v, c)| (v, -c)));
+        self.add_row(label, RowKind::Precedence, terms, Relation::Ge, 0.0);
+    }
+
+    /// A caller-shaped row with an explicit relation (tagged
+    /// [`RowKind::Custom`]).
+    pub fn constraint(
+        &mut self,
+        label: impl Into<String>,
+        terms: impl IntoIterator<Item = (MVar, f64)>,
+        relation: Relation,
+        rhs: f64,
+    ) {
+        self.add_row(label, RowKind::Custom, terms, relation, rhs);
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The declared groups, in declaration order.
+    pub fn groups(&self) -> &[VarGroup] {
+        &self.groups
+    }
+
+    /// Row kinds in declaration order (the model's constraint signature).
+    pub fn row_kinds(&self) -> impl Iterator<Item = RowKind> + '_ {
+        self.rows.iter().map(|r| r.kind)
+    }
+
+    /// Lowers the model to a raw [`Problem`]: variables in declaration
+    /// order, rows in declaration order. Deterministic — two identical
+    /// model builds lower to byte-identical problems, so warm-start keys
+    /// and cached bases carry over between builds.
+    pub fn lower(&self) -> Problem {
+        let mut p = Problem::new(self.sense);
+        for (name, &obj) in self.names.iter().zip(&self.objective) {
+            p.add_var(name.clone(), obj);
+        }
+        for row in &self.rows {
+            p.add_constraint(
+                row.label.clone(),
+                row.terms.iter().map(|&(i, c)| (VarId(i), c)),
+                row.relation,
+                row.rhs,
+            );
+        }
+        p
+    }
+
+    /// Structural fingerprint for keying a [`BasisCache`](crate::BasisCache):
+    /// hashes the sense, the group names and sizes, the objective bits and
+    /// every row's kind, relation, right-hand side and coefficient bits —
+    /// but *not* the row labels, which carry display-only worker ids.
+    /// Deterministic across processes.
+    pub fn cache_key(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        matches!(self.sense, Sense::Maximize).hash(&mut h);
+        self.groups.len().hash(&mut h);
+        for g in &self.groups {
+            g.name.hash(&mut h);
+            g.range.len().hash(&mut h);
+        }
+        for &obj in &self.objective {
+            obj.to_bits().hash(&mut h);
+        }
+        self.rows.len().hash(&mut h);
+        for row in &self.rows {
+            row.kind.hash(&mut h);
+            (row.relation as u8).hash(&mut h);
+            row.rhs.to_bits().hash(&mut h);
+            row.terms.len().hash(&mut h);
+            for &(i, c) in &row.terms {
+                i.hash(&mut h);
+                c.to_bits().hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// The standardized row/column shape this model lowers to, mirroring
+    /// the solver engines' standardization (rows with negative right-hand
+    /// sides are flipped before logicals/artificials are assigned).
+    pub fn standard_shape(&self) -> StandardShape {
+        let mut logicals = 0;
+        let mut artificials = 0;
+        for row in &self.rows {
+            let relation = if row.rhs < 0.0 {
+                match row.relation {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                }
+            } else {
+                row.relation
+            };
+            match relation {
+                Relation::Le => logicals += 1,
+                Relation::Ge => {
+                    logicals += 1;
+                    artificials += 1;
+                }
+                Relation::Eq => artificials += 1,
+            }
+        }
+        StandardShape {
+            structural: self.names.len(),
+            logicals,
+            artificials,
+            rows: self.rows.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::solve;
+
+    /// A 2-worker canonical scenario model, the shape `dls-core` builds.
+    fn two_worker_model() -> (ScheduleModel, VarGroup, VarGroup) {
+        // P1 = (c=1, w=2, d=0.5), P2 = (c=2, w=1, d=1), FIFO.
+        let mut m = ScheduleModel::maximize();
+        let alphas = m.group("alpha", (1..=2).map(|i| (format!("alpha_P{i}"), 1.0)));
+        let idles = m.group("idle", (1..=2).map(|i| (format!("x_P{i}"), 0.0)));
+        m.deadline(
+            "deadline_P1",
+            [
+                (alphas.var(0), 1.0 + 2.0), // own send + compute
+                (idles.var(0), 1.0),
+                (alphas.var(0), 0.5), // own return
+                (alphas.var(1), 1.0), // P2's return after P1's
+            ],
+            1.0,
+        );
+        m.deadline(
+            "deadline_P2",
+            [
+                (alphas.var(0), 1.0),
+                (alphas.var(1), 2.0 + 1.0),
+                (idles.var(1), 1.0),
+                (alphas.var(1), 1.0),
+            ],
+            1.0,
+        );
+        m.one_port(
+            "one_port",
+            [(alphas.var(0), 1.5), (alphas.var(1), 3.0)],
+            1.0,
+        );
+        (m, alphas, idles)
+    }
+
+    #[test]
+    fn groups_lower_in_declaration_order() {
+        let (m, alphas, idles) = two_worker_model();
+        let p = m.lower();
+        assert_eq!(p.num_vars(), 4);
+        assert_eq!(p.var_name(alphas.var(0).var_id()), "alpha_P1");
+        assert_eq!(p.var_name(alphas.var(1).var_id()), "alpha_P2");
+        assert_eq!(p.var_name(idles.var(0).var_id()), "x_P1");
+        assert_eq!(p.var_name(idles.var(1).var_id()), "x_P2");
+        assert_eq!(p.objective(), &[1.0, 1.0, 0.0, 0.0]);
+        assert_eq!(p.num_constraints(), 3);
+        assert_eq!(p.constraints()[2].label, "one_port");
+    }
+
+    #[test]
+    fn lowering_is_deterministic_and_solvable() {
+        let (m, _, _) = two_worker_model();
+        let a = m.lower();
+        let b = m.lower();
+        assert_eq!(a.to_lp_format(), b.to_lp_format());
+        let sol = solve(&a).unwrap();
+        assert!(sol.objective > 0.0);
+    }
+
+    #[test]
+    fn precedence_encodes_later_minus_earlier() {
+        let mut m = ScheduleModel::maximize();
+        let alpha = m.group("alpha", [("alpha".to_string(), 1.0)]);
+        let starts = m.group("start", [("s".to_string(), 0.0), ("r".to_string(), 0.0)]);
+        // r >= s + 2 alpha; r + alpha <= 1; maximize alpha -> alpha = 1/3.
+        m.precedence("chain", starts.var(1), starts.var(0), [(alpha.var(0), 2.0)]);
+        m.deadline("horizon", [(starts.var(1), 1.0), (alpha.var(0), 1.0)], 1.0);
+        let sol = solve(&m.lower()).unwrap();
+        assert!((sol.objective - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn release_pins_events_after_durations() {
+        let mut m = ScheduleModel::maximize();
+        let alpha = m.group("alpha", [("alpha".to_string(), 1.0)]);
+        let start = m.group("start", [("s".to_string(), 0.0)]);
+        // s >= 3 alpha, s + alpha <= 1 -> alpha = 1/4.
+        m.release("release", start.var(0), [(alpha.var(0), 3.0)]);
+        m.deadline("horizon", [(start.var(0), 1.0), (alpha.var(0), 1.0)], 1.0);
+        let sol = solve(&m.lower()).unwrap();
+        assert!((sol.objective - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_key_tracks_structure_not_labels() {
+        let (a, _, _) = two_worker_model();
+        let (b, _, _) = two_worker_model();
+        assert_eq!(a.cache_key(), b.cache_key());
+
+        // A changed coefficient changes the key.
+        let mut c = ScheduleModel::maximize();
+        let alphas = c.group("alpha", (1..=2).map(|i| (format!("alpha_P{i}"), 1.0)));
+        let idles = c.group("idle", (1..=2).map(|i| (format!("x_P{i}"), 0.0)));
+        c.deadline(
+            "deadline_P1",
+            [
+                (alphas.var(0), 9.0),
+                (idles.var(0), 1.0),
+                (alphas.var(0), 0.5),
+                (alphas.var(1), 1.0),
+            ],
+            1.0,
+        );
+        assert_ne!(a.cache_key(), c.cache_key());
+
+        // A changed row *kind* changes the key even with equal math.
+        let mut d = ScheduleModel::maximize();
+        let alphas = d.group("alpha", (1..=2).map(|i| (format!("alpha_P{i}"), 1.0)));
+        d.capacity("cap", [(alphas.var(0), 1.5), (alphas.var(1), 3.0)], 1.0);
+        let mut e = ScheduleModel::maximize();
+        let alphas = e.group("alpha", (1..=2).map(|i| (format!("alpha_P{i}"), 1.0)));
+        e.one_port("cap", [(alphas.var(0), 1.5), (alphas.var(1), 3.0)], 1.0);
+        assert_ne!(d.cache_key(), e.cache_key());
+    }
+
+    #[test]
+    fn standard_shape_counts_logicals_and_artificials() {
+        let mut m = ScheduleModel::maximize();
+        let g = m.group("g", [("x".to_string(), 1.0), ("y".to_string(), 1.0)]);
+        m.deadline("le", [(g.var(0), 1.0)], 1.0); // slack
+        m.constraint("ge", [(g.var(1), 1.0)], Relation::Ge, 0.5); // surplus + artificial
+        m.constraint("eq", [(g.var(0), 1.0), (g.var(1), 1.0)], Relation::Eq, 1.0); // artificial
+        m.constraint("neg", [(g.var(0), -1.0)], Relation::Le, -0.25); // flips to Ge
+        let shape = m.standard_shape();
+        assert_eq!(shape.structural, 2);
+        assert_eq!(shape.logicals, 3); // le, ge, flipped-neg
+        assert_eq!(shape.artificials, 3); // ge, eq, flipped-neg
+        assert_eq!(shape.rows, 4);
+        assert_eq!(shape.cols(), 8);
+        assert!(shape.basis_compatible(&m.standard_shape()));
+    }
+
+    #[test]
+    fn ir_models_snapshot_as_lp_text_and_round_trip() {
+        // The debuggability contract: an IR-built model dumps to exactly
+        // this CPLEX-LP text, and the text parses back into the same
+        // problem (the `to_lp_format` round-trip satellite).
+        let (m, _, _) = two_worker_model();
+        let text = m.lower().to_lp_format();
+        let expected = "\
+Maximize
+ obj: +1 alpha_P1 +1 alpha_P2
+Subject To
+ deadline_P1: +3.5 alpha_P1 +1 alpha_P2 +1 x_P1 <= 1
+ deadline_P2: +1 alpha_P1 +4 alpha_P2 +1 x_P2 <= 1
+ one_port: +1.5 alpha_P1 +3 alpha_P2 <= 1
+End
+";
+        assert_eq!(text, expected);
+        let parsed = crate::Problem::from_lp_format(&text).unwrap();
+        assert_eq!(parsed.to_lp_format(), text);
+        let direct = solve(&m.lower()).unwrap();
+        let reparsed = solve(&parsed).unwrap();
+        assert!((direct.objective - reparsed.objective).abs() < 1e-12);
+    }
+
+    #[test]
+    fn var_group_accessors() {
+        let mut m = ScheduleModel::minimize();
+        let g = m.group("g", (0..3).map(|i| (format!("v{i}"), 1.0)));
+        assert_eq!(g.name(), "g");
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+        assert_eq!(g.vars().count(), 3);
+        assert_eq!(g.var_ids().len(), 3);
+        assert_eq!(g.var(2).index(), 2);
+        assert_eq!(m.groups().len(), 1);
+        assert_eq!(m.row_kinds().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "has 3 members")]
+    fn out_of_range_member_panics() {
+        let mut m = ScheduleModel::maximize();
+        let g = m.group("g", (0..3).map(|i| (format!("v{i}"), 1.0)));
+        let _ = g.var(3);
+    }
+}

@@ -424,6 +424,15 @@ impl<S: Scalar> State<S> {
 
     /// Runs one simplex phase: prices with `costs`, enters columns passing
     /// `enterable`, pivots until optimal/unbounded or the iteration cap.
+    ///
+    /// Pricing rule: Bland after `opts.bland_after` pivots (full scan,
+    /// first improving index); otherwise Dantzig — over *all* columns when
+    /// `opts.candidate_list == 0`, or over a rotating **candidate list**
+    /// of at most `opts.candidate_list` recently improving columns
+    /// (partial pricing). The list is re-priced each pivot and rebuilt by
+    /// a wrapping full scan whenever it runs dry; optimality is only ever
+    /// declared by a full scan, so partial pricing changes pivot order,
+    /// never the answer.
     fn run_phase(
         &mut self,
         costs: &[S],
@@ -431,6 +440,11 @@ impl<S: Scalar> State<S> {
         enterable: impl Fn(usize) -> bool,
     ) -> Result<PhaseOutcome, LpError> {
         let start = self.iterations;
+        // Partial-pricing state: the candidate pool and the wrap cursor of
+        // the last rebuild scan (rotating the scan start spreads the
+        // pool across the column range instead of favoring low indices).
+        let mut candidates: Vec<usize> = Vec::new();
+        let mut cursor = 0usize;
         loop {
             if self.iterations >= opts.max_iterations {
                 return Err(LpError::IterationLimit {
@@ -442,34 +456,91 @@ impl<S: Scalar> State<S> {
             // Price: y = c_B^T B^-1, then d_j = c_j - y . a_j.
             let cb: Vec<S> = self.basis.iter().map(|&c| costs[c].clone()).collect();
             let y = self.factor.btran(&cb);
-            let mut entering: Option<(usize, S)> = None;
-            #[allow(clippy::needless_range_loop)] // indexes 4 parallel arrays
-            for c in 0..self.layout.cols {
-                if self.in_basis[c] || !enterable(c) {
-                    continue;
-                }
-                let mut d = costs[c].clone();
-                for &r in &self.cols.support[c] {
-                    let yv = &y[r];
-                    if !yv.is_zero() {
-                        d = d - yv.clone() * self.cols.a[c][r].clone();
-                    }
-                }
-                if d > self.tol {
-                    match (&entering, use_bland) {
-                        (_, true) => {
-                            entering = Some((c, d));
-                            break; // Bland: first improving index
+            let entering: Option<(usize, S)> = {
+                let price = |c: usize| -> S {
+                    let mut d = costs[c].clone();
+                    for &r in &self.cols.support[c] {
+                        let yv = &y[r];
+                        if !yv.is_zero() {
+                            d = d - yv.clone() * self.cols.a[c][r].clone();
                         }
-                        (None, false) => entering = Some((c, d)),
-                        (Some((_, best)), false) if d > *best => entering = Some((c, d)),
-                        _ => {}
                     }
+                    d
+                };
+                if use_bland {
+                    // Bland: full scan, first improving index.
+                    let mut found = None;
+                    for c in 0..self.layout.cols {
+                        if self.in_basis[c] || !enterable(c) {
+                            continue;
+                        }
+                        let d = price(c);
+                        if d > self.tol {
+                            found = Some((c, d));
+                            break;
+                        }
+                    }
+                    found
+                } else if opts.candidate_list == 0 {
+                    // Classic Dantzig: full scan, steepest reduced cost.
+                    let mut best: Option<(usize, S)> = None;
+                    for c in 0..self.layout.cols {
+                        if self.in_basis[c] || !enterable(c) {
+                            continue;
+                        }
+                        let d = price(c);
+                        if d > self.tol && best.as_ref().is_none_or(|(_, bd)| d > *bd) {
+                            best = Some((c, d));
+                        }
+                    }
+                    best
+                } else {
+                    // Partial pricing: re-price the surviving candidates…
+                    let mut best: Option<(usize, S)> = None;
+                    let mut kept = Vec::with_capacity(candidates.len());
+                    for &c in &candidates {
+                        if self.in_basis[c] || !enterable(c) {
+                            continue;
+                        }
+                        let d = price(c);
+                        if d > self.tol {
+                            if best.as_ref().is_none_or(|(_, bd)| d > *bd) {
+                                best = Some((c, d.clone()));
+                            }
+                            kept.push(c);
+                        }
+                    }
+                    candidates = kept;
+                    // …and rebuild from a wrapping full scan when dry. A
+                    // dry *full* scan is the (exact) optimality proof.
+                    if best.is_none() {
+                        candidates.clear();
+                        let cols = self.layout.cols;
+                        for off in 0..cols {
+                            let c = (cursor + off) % cols;
+                            if self.in_basis[c] || !enterable(c) {
+                                continue;
+                            }
+                            let d = price(c);
+                            if d > self.tol {
+                                if best.as_ref().is_none_or(|(_, bd)| d > *bd) {
+                                    best = Some((c, d.clone()));
+                                }
+                                candidates.push(c);
+                                if candidates.len() >= opts.candidate_list {
+                                    cursor = (c + 1) % cols;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    best
                 }
-            }
+            };
             let Some((pc, _)) = entering else {
                 return Ok(PhaseOutcome::Optimal);
             };
+            candidates.retain(|&c| c != pc);
 
             // FTRAN the entering column and run the ratio test.
             let w = self
@@ -1004,6 +1075,7 @@ mod tests {
             max_iterations: 0,
             bland_after: 0,
             refactor_every: 48,
+            candidate_list: 0,
         };
         assert!(matches!(
             cache.solve::<f64>(5, &p, &strict),
@@ -1043,6 +1115,57 @@ mod tests {
         assert_close(s.solution.objective, 0.0);
         assert_close(s.solution.x[0], 4.0);
         assert_close(s.solution.x[1], 0.0);
+    }
+
+    #[test]
+    fn candidate_list_pricing_matches_full_pricing() {
+        // A wide random-ish LP (the regime partial pricing targets): the
+        // optimum must be identical whatever the list budget, because
+        // optimality is only declared by a full scan.
+        let n = 60;
+        let mut p = Problem::maximize();
+        let vars: Vec<_> = (0..n)
+            .map(|j| p.add_var(format!("x{j}"), 1.0 + ((j * 7) % 13) as f64 * 0.25))
+            .collect();
+        for i in 0..n / 2 {
+            let coeffs: Vec<_> = vars
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| (i + j) % 3 != 0)
+                .map(|(j, &v)| (v, 1.0 + ((i * 5 + j * 11) % 7) as f64 * 0.5))
+                .collect();
+            p.add_constraint(format!("c{i}"), coeffs, Relation::Le, 10.0 + (i % 4) as f64);
+        }
+        let full = SolverOptions {
+            candidate_list: 0,
+            ..SolverOptions::for_size(p.num_vars(), p.num_constraints())
+        };
+        let reference = solve_revised_with::<f64>(&p, &full, None).unwrap();
+        for list in [1usize, 4, 16, 128] {
+            let partial = SolverOptions {
+                candidate_list: list,
+                ..full.clone()
+            };
+            let s = solve_revised_with::<f64>(&p, &partial, None).unwrap();
+            assert!(
+                (s.solution.objective - reference.solution.objective).abs()
+                    <= 1e-7 * reference.solution.objective.abs().max(1.0),
+                "candidate_list = {list}: {} vs {}",
+                s.solution.objective,
+                reference.solution.objective
+            );
+        }
+        // The exact backend agrees under partial pricing too (optimality
+        // proofs stay full-scan-exact).
+        let partial = SolverOptions {
+            candidate_list: 8,
+            ..full
+        };
+        let exact = solve_revised_with::<Rational>(&p, &partial, None).unwrap();
+        assert!(
+            (exact.solution.objective.to_f64() - reference.solution.objective).abs() <= 1e-7,
+            "exact under partial pricing diverged"
+        );
     }
 
     #[test]

@@ -32,16 +32,28 @@ pub struct SolverOptions {
     /// Eta-file length after which the revised solver rebuilds the basis
     /// inverse from scratch (ignored by the dense tableau).
     pub refactor_every: usize,
+    /// Candidate-list (partial) pricing budget for the revised solver:
+    /// `0` prices every column each pivot (classic Dantzig); a positive
+    /// value keeps a rotating list of at most this many improving columns
+    /// and re-prices only the list between full scans. Optimality is
+    /// still decided by a full scan, so the answer is unchanged — only
+    /// the per-pivot pricing cost drops on wide instances. Ignored by the
+    /// dense tableau and by Bland's rule.
+    pub candidate_list: usize,
 }
 
 impl SolverOptions {
-    /// Sensible defaults scaled to the instance size.
+    /// Sensible defaults scaled to the instance size. Partial pricing
+    /// switches on for wide instances only (`dim ≥ 192`: the cold-solve
+    /// regime where full Dantzig pricing starts to dominate); the paper's
+    /// 11-worker LPs keep classic full pricing and bit-identical pivots.
     pub fn for_size(num_vars: usize, num_constraints: usize) -> Self {
         let dim = num_vars + num_constraints;
         SolverOptions {
             max_iterations: 2_000 + 200 * dim,
             bland_after: 200 + 20 * dim,
             refactor_every: 48,
+            candidate_list: if dim >= 192 { (dim / 8).max(32) } else { 0 },
         }
     }
 }
@@ -752,6 +764,7 @@ mod tests {
             max_iterations: 0,
             bland_after: 0,
             refactor_every: 48,
+            candidate_list: 0,
         };
         assert!(matches!(
             solve_with::<f64>(&p, &opts),

@@ -189,6 +189,9 @@ pub fn strategy_table(platform: &Platform) -> Table {
                     Provenance::Search { evaluated } => {
                         format!("search ({evaluated} scenarios)")
                     }
+                    Provenance::LpBound { iterations, bound } => {
+                        format!("lp bound {} ({iterations} pivots)", num(bound, 6))
+                    }
                 };
                 t.row(&[
                     s.name().to_string(),

@@ -24,7 +24,7 @@
 //!   in `R`, and `R = 1` *is* the one-round optimal FIFO LP.
 
 use dls_core::fifo::theorem1_order;
-use dls_core::lp_model::solve_fifo;
+use dls_core::lp_model::{self, solve_fifo};
 use dls_core::{CoreError, PortModel};
 use dls_platform::{Platform, WorkerId};
 
@@ -145,6 +145,15 @@ pub struct LpPlan {
 /// LP-optimal chunk fractions for exactly `rounds` canonical-shape rounds:
 /// the scenario LP on the expanded platform with the round-major FIFO
 /// pattern, loads normalized to fractions of a unit total.
+///
+/// Built on the schedule-model IR: [`lp_model::scenario_model`] emits the
+/// expanded round-major rows (the exact LP `solve_fifo` used to build
+/// internally) and [`lp_model::solve_model`] routes the solve through the
+/// per-thread basis cache under the model's structural key, so repeated
+/// plans of the same `(platform, R)` still warm-start. Holding the model
+/// before solving is the extension point for the pipelined-feasible
+/// variant sketched in the ROADMAP: per-worker compute-chain rows are one
+/// `precedence` combinator call away.
 pub fn plan_lp(platform: &Platform, rounds: usize) -> Result<LpPlan, CoreError> {
     let p = platform.num_workers();
     let order = planner_order(platform);
@@ -153,16 +162,14 @@ pub fn plan_lp(platform: &Platform, rounds: usize) -> Result<LpPlan, CoreError> 
     for r in 0..rounds {
         vorder.extend(order.iter().map(|&id| physical_to_virtual(r, id, p)));
     }
-    let sol = solve_fifo(&vplat, &vorder, PortModel::OnePort)?;
-    let rho = sol.throughput;
-    let fractions: Vec<Vec<f64>> = (0..rounds)
-        .map(|r| {
-            sol.schedule.loads()[r * p..(r + 1) * p]
-                .iter()
-                .map(|l| l / rho)
-                .collect()
-        })
-        .collect();
+    let (ir, vars) = lp_model::scenario_model(&vplat, &vorder, &vorder, PortModel::OnePort)?;
+    let sol = lp_model::solve_model(&ir, None)?;
+    let rho = sol.objective;
+    let mut fractions = vec![vec![0.0; p]; rounds];
+    for (k, &alpha) in vars.alphas.iter().enumerate() {
+        let id = order[k % p];
+        fractions[k / p][id.index()] = sol.value(alpha).max(0.0) / rho;
+    }
     Ok(LpPlan {
         plan: RoundPlan::new(platform, order, fractions)?,
         iterations: sol.iterations,

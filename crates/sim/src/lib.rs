@@ -49,4 +49,6 @@ pub use noise::{Noise, RealismModel};
 pub use queue::EventQueue;
 pub use time::SimTime;
 pub use trace::{Span, SpanKind, Trace, WorkerStats};
-pub use tree::{simulate_tree, verify_tree, TreeSimReport, TreeSpan, TreeSpanKind};
+pub use tree::{
+    ideal_tree_makespan, simulate_tree, verify_tree, TreeSimReport, TreeSpan, TreeSpanKind,
+};

@@ -352,6 +352,15 @@ pub fn simulate_tree(
     TreeSimReport { spans, makespan }
 }
 
+/// Convenience: the noise-free store-and-forward makespan of `schedule`
+/// on `tree` — [`simulate_tree`] under [`SimConfig::ideal`], makespan
+/// only. This is the replay oracle the `tree_lp` solver scores its
+/// relaxation loads against: ideal durations are exact products, so the
+/// result is linear in the schedule's loads.
+pub fn ideal_tree_makespan(tree: &TreePlatform, schedule: &Schedule) -> f64 {
+    simulate_tree(tree, schedule, &SimConfig::ideal()).makespan
+}
+
 /// Independently re-checks the tree model constraints of a simulated run
 /// against an *ideal* (noise-free) cost model: hop/compute durations,
 /// store-and-forward precedence per message, `σ1` dispatch order at the

@@ -41,10 +41,12 @@
 #![warn(missing_docs)]
 
 mod collapse;
+pub mod lp;
 mod scheduler;
 
 pub use collapse::{collapse, expand, verify_expansion, HopTiming, NodeTiming};
-pub use scheduler::{TreeOrder, TreeProvider, TreeScheduler, DEFAULT_FANOUT};
+pub use lp::{solve_tree_lp, tree_lp_model, TreeLpSolution};
+pub use scheduler::{TreeLpScheduler, TreeOrder, TreeProvider, TreeScheduler, DEFAULT_FANOUT};
 
 /// Installs the tree provider into [`dls_core::registry`] (idempotent:
 /// re-installing replaces the provider in place). After this, `registry()`

@@ -42,12 +42,24 @@ impl TreeOrder {
         }
     }
 
-    fn solve_star(self, star: &Platform) -> Result<LpSchedule, CoreError> {
+    pub(crate) fn solve_star(self, star: &Platform) -> Result<LpSchedule, CoreError> {
         match self {
             TreeOrder::Fifo => dls_core::fifo::optimal_fifo(star),
             TreeOrder::Lifo => dls_core::lifo::optimal_lifo(star),
         }
     }
+}
+
+/// The balanced reshaping every registry tree strategy uses on star
+/// inputs: workers sorted by non-decreasing `c` (fast links near the
+/// master, where they relay the most traffic), balanced `fanout`-ary
+/// layout. Returns the tree plus the physical worker id of each node.
+pub(crate) fn shape_balanced(platform: &Platform, fanout: usize) -> (TreePlatform, Vec<WorkerId>) {
+    let nodes = platform.order_by_c();
+    let shaped = platform
+        .restrict(&nodes)
+        .expect("restriction to a permutation is valid");
+    (TreePlatform::balanced(&shaped, fanout), nodes)
 }
 
 /// A constructor-configured tree strategy: a return discipline plus the
@@ -116,11 +128,7 @@ impl TreeScheduler {
     /// the most traffic), balanced `fanout`-ary layout. Returns the tree
     /// plus the physical worker id of each tree node.
     pub fn shape(&self, platform: &Platform) -> (TreePlatform, Vec<WorkerId>) {
-        let nodes = platform.order_by_c();
-        let shaped = platform
-            .restrict(&nodes)
-            .expect("restriction to a permutation is valid");
-        (TreePlatform::balanced(&shaped, self.fanout), nodes)
+        shape_balanced(platform, self.fanout)
     }
 
     /// Solves a native tree: collapse, solve the star, record the
@@ -170,22 +178,110 @@ impl Scheduler for TreeScheduler {
     }
 }
 
-/// The provider handing the two `tree_*` families to the engine registry;
-/// installed by [`crate::install`].
+/// A constructor-configured **tree-native LP** strategy: reshapes star
+/// platforms exactly like [`TreeScheduler`] (c-sorted balanced
+/// `fanout`-ary trees), then solves the per-link relaxation of
+/// [`crate::lp`] and reports the replay-achieved throughput — never below
+/// `tree_fifo` at the same fanout, with the relaxation optimum recorded
+/// in `Provenance::LpBound` as the certified ceiling.
+#[derive(Debug, Clone)]
+pub struct TreeLpScheduler {
+    fanout: usize,
+    name: String,
+    legend: String,
+}
+
+impl TreeLpScheduler {
+    /// A strategy named `tree_lp@<fanout>` (the parameterized spelling).
+    pub fn new(fanout: usize) -> Self {
+        TreeLpScheduler {
+            fanout,
+            name: format!("tree_lp@{fanout}"),
+            legend: format!("TREE_LP@{fanout}"),
+        }
+    }
+
+    /// The default registry instance: plain `tree_lp` name,
+    /// [`DEFAULT_FANOUT`].
+    pub fn registry_default() -> Self {
+        TreeLpScheduler {
+            fanout: DEFAULT_FANOUT,
+            name: "tree_lp".into(),
+            legend: "TREE_LP".into(),
+        }
+    }
+
+    /// The configured fanout.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Solves a native tree (the fanout is ignored; the topology is the
+    /// caller's).
+    pub fn solve_tree(&self, tree: &TreePlatform) -> Result<Solution, CoreError> {
+        let nodes = tree.ids().collect();
+        let sol = crate::lp::solve_tree_lp(tree)?;
+        Ok(crate::lp::tree_lp_solution(tree.clone(), nodes, sol))
+    }
+}
+
+impl Scheduler for TreeLpScheduler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn legend(&self) -> &str {
+        &self.legend
+    }
+
+    fn solve(&self, platform: &Platform) -> Result<Solution, CoreError> {
+        let (tree, nodes) = shape_balanced(platform, self.fanout);
+        let sol = crate::lp::solve_tree_lp(&tree)?;
+        Ok(crate::lp::tree_lp_solution(tree, nodes, sol))
+    }
+
+    /// Exact-rational certification of the **relaxation bound**: re-solves
+    /// the per-link model with the `Rational` simplex. The float solution's
+    /// *achieved* throughput sits at or below this exact objective (the
+    /// same upper-bound contract as `no_return` and the affine family —
+    /// the replay achieves a value the relaxation can only cap).
+    fn solve_exact(&self, platform: &Platform) -> Result<dls_core::ExactSolution, CoreError> {
+        let (tree, _) = shape_balanced(platform, self.fanout);
+        let (ir, alphas) = crate::lp::tree_lp_model(&tree);
+        let sol = dls_lp::solve_exact::<dls_lp::Rational>(&ir.lower())?;
+        let loads = alphas.var_ids().iter().map(|&v| sol.value(v)).collect();
+        Ok(dls_core::ExactSolution {
+            throughput: sol.objective,
+            loads,
+        })
+    }
+}
+
+/// The provider handing the `tree_*` families (`tree_fifo`, `tree_lifo`,
+/// `tree_lp`) to the engine registry; installed by [`crate::install`].
 pub struct TreeProvider;
 
 impl TreeProvider {
-    fn parse(name: &str) -> Option<TreeScheduler> {
+    fn parse(name: &str) -> Option<Box<dyn Scheduler>> {
+        if let Some(rest) = name.strip_prefix("tree_lp") {
+            if rest.is_empty() {
+                return Some(Box::new(TreeLpScheduler::registry_default()));
+            }
+            return match rest.strip_prefix('@')?.parse::<usize>() {
+                Ok(fanout) if fanout >= 1 => Some(Box::new(TreeLpScheduler::new(fanout))),
+                _ => None,
+            };
+        }
         for order in [TreeOrder::Fifo, TreeOrder::Lifo] {
             let Some(rest) = name.strip_prefix(order.id_stem()) else {
                 continue;
             };
             if rest.is_empty() {
-                return Some(TreeScheduler::registry_default(order));
+                return Some(Box::new(TreeScheduler::registry_default(order)));
             }
             if let Some(k) = rest.strip_prefix('@') {
                 return match k.parse::<usize>() {
-                    Ok(fanout) if fanout >= 1 => Some(TreeScheduler::new(order, fanout)),
+                    Ok(fanout) if fanout >= 1 => Some(Box::new(TreeScheduler::new(order, fanout))),
                     _ => None,
                 };
             }
@@ -203,11 +299,12 @@ impl SchedulerProvider for TreeProvider {
         vec![
             Box::new(TreeScheduler::registry_default(TreeOrder::Fifo)),
             Box::new(TreeScheduler::registry_default(TreeOrder::Lifo)),
+            Box::new(TreeLpScheduler::registry_default()),
         ]
     }
 
     fn resolve(&self, name: &str) -> Option<Box<dyn Scheduler>> {
-        Self::parse(name).map(|s| Box::new(s) as Box<dyn Scheduler>)
+        Self::parse(name)
     }
 }
 
@@ -233,12 +330,55 @@ mod tests {
     fn parse_accepts_defaults_and_parameterized_ids_only() {
         assert!(TreeProvider::parse("tree_fifo").is_some());
         let s = TreeProvider::parse("tree_lifo@4").unwrap();
-        assert_eq!(s.fanout(), 4);
-        assert_eq!(s.order(), TreeOrder::Lifo);
+        assert_eq!(s.name(), "tree_lifo@4");
+        assert_eq!(s.legend(), "TREE_LIFO@4");
+        let lp = TreeProvider::parse("tree_lp@3").unwrap();
+        assert_eq!(lp.name(), "tree_lp@3");
+        assert_eq!(TreeProvider::parse("tree_lp").unwrap().legend(), "TREE_LP");
         assert!(TreeProvider::parse("tree_fifo@0").is_none());
+        assert!(TreeProvider::parse("tree_lp@0").is_none());
         assert!(TreeProvider::parse("tree_fifo@x").is_none());
         assert!(TreeProvider::parse("tree_fifox").is_none());
+        assert!(TreeProvider::parse("tree_lpx").is_none());
         assert!(TreeProvider::parse("optimal_fifo").is_none());
+    }
+
+    #[test]
+    fn tree_lp_scheduler_dominates_tree_fifo_at_every_fanout() {
+        let p = star();
+        for fanout in [1usize, 2, 3] {
+            let fifo = TreeScheduler::fifo(fanout).solve(&p).unwrap();
+            let lp = TreeLpScheduler::new(fanout).solve(&p).unwrap();
+            assert!(
+                lp.throughput >= fifo.throughput - 1e-9,
+                "fanout {fanout}: tree_lp {} below tree_fifo {}",
+                lp.throughput,
+                fifo.throughput
+            );
+            match lp.provenance {
+                Provenance::LpBound { bound, .. } => {
+                    assert!(bound >= lp.throughput - 1e-9, "bound below achieved")
+                }
+                ref other => panic!("expected LpBound provenance, got {other:?}"),
+            }
+            assert!(lp.tree().is_some());
+        }
+    }
+
+    #[test]
+    fn tree_lp_exact_pass_upper_bounds_the_achieved_value() {
+        use dls_lp::Scalar;
+        let p = star();
+        let s = TreeLpScheduler::new(2);
+        let float = s.solve(&p).unwrap().throughput;
+        let exact = s.solve_exact(&p).unwrap();
+        let exact_rho = exact.throughput.to_f64();
+        assert!(
+            exact_rho >= float - 1e-9,
+            "exact bound {exact_rho} below achieved {float}"
+        );
+        let load_sum: f64 = exact.loads.iter().map(|l| l.to_f64()).sum();
+        assert!((load_sum - exact_rho).abs() < 1e-9);
     }
 
     #[test]

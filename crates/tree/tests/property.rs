@@ -1,11 +1,12 @@
 //! Property tests of the star-collapse reduction: the depth-1 identity
 //! (exact, certified with rationals), conservativeness of deeper
-//! topologies, and feasibility of every expansion.
+//! topologies, feasibility of every expansion, and the tree-native LP's
+//! dominance over the collapse (`tree_lp` never worse than `tree_fifo`).
 
-use dls_core::Scheduler;
+use dls_core::{Provenance, Scheduler};
 use dls_lp::Scalar;
 use dls_platform::{Platform, TreePlatform};
-use dls_tree::{collapse, expand, verify_expansion, TreeScheduler};
+use dls_tree::{collapse, expand, verify_expansion, TreeLpScheduler, TreeScheduler};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -103,5 +104,59 @@ proptest! {
                 rep.makespan
             );
         }
+    }
+
+    /// The tree-native LP acceptance criterion: at every fanout,
+    /// `tree_lp`'s makespan never exceeds `tree_fifo`'s, the relaxation
+    /// bound caps the achieved value, the winning schedule replays clean
+    /// through the store-and-forward simulator inside the unit horizon,
+    /// and the exact-rational re-solve of the relaxation certifies the
+    /// float bound.
+    #[test]
+    fn tree_lp_never_exceeds_tree_fifo_and_replays_clean(
+        p in star(),
+        fanout in 1usize..=4,
+    ) {
+        let fifo = TreeScheduler::fifo(fanout).solve(&p).expect("z-tied");
+        let lp_sched = TreeLpScheduler::new(fanout);
+        let lp = lp_sched.solve(&p).expect("tree_lp");
+        prop_assert!(
+            1.0 / lp.throughput <= 1.0 / fifo.throughput + 1e-7,
+            "tree_lp makespan {} exceeds tree_fifo {}",
+            1.0 / lp.throughput,
+            1.0 / fifo.throughput
+        );
+        let bound = match lp.provenance {
+            Provenance::LpBound { bound, .. } => bound,
+            ref other => panic!("expected LpBound provenance, got {other:?}"),
+        };
+        prop_assert!(
+            bound >= lp.throughput - 1e-9,
+            "relaxation bound {bound} below achieved {}",
+            lp.throughput
+        );
+
+        // Replay the winning schedule on the real tree: verify-clean and
+        // within the unit horizon (the reported throughput is achieved).
+        let tree = lp.tree().expect("tree execution");
+        let rep = dls_sim::simulate_tree(tree, &lp.schedule, &dls_sim::SimConfig::ideal());
+        let violations = dls_sim::verify_tree(tree, &lp.schedule, &rep, 1e-7);
+        prop_assert!(violations.is_empty(), "replay violations: {violations:?}");
+        prop_assert!(
+            rep.makespan <= 1.0 + 1e-7,
+            "replay {} overflows the horizon",
+            rep.makespan
+        );
+
+        // Exact-rational spot check: the rational re-solve of the
+        // relaxation agrees with the float bound and caps the float
+        // throughput.
+        let exact = lp_sched.solve_exact(&p).expect("exact relaxation");
+        let exact_bound = exact.throughput.to_f64();
+        prop_assert!(
+            (exact_bound - bound).abs() <= 1e-7 * bound.max(1.0),
+            "float bound {bound} not certified by exact {exact_bound}"
+        );
+        prop_assert!(exact_bound >= lp.throughput - 1e-7);
     }
 }

@@ -15,11 +15,12 @@ fn main() {
     let platform = Platform::bus(1.0, 0.5, &ws).expect("valid bus");
 
     // Add the provider-contributed strategies to the registry: multi-round
-    // installments, tree topologies, and the affine (per-message latency)
-    // solvers.
+    // installments, tree topologies, the affine (per-message latency)
+    // solvers, and the interleaved-master LP family.
     dls::rounds::install();
     dls::tree::install();
     dls::core::affine::install();
+    dls::core::interleaved::install();
 
     println!("{p}-worker bus, c = 1, d = 0.5 (z = 1/2), w = {ws:?}\n");
     println!("{}", strategy_table(&platform).render());

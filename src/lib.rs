@@ -15,8 +15,9 @@
 //!   [`rounds::install`] to add the `multiround_*` strategies to
 //!   [`core::registry`];
 //! * [`tree`] — multi-level tree platforms via the star-collapse
-//!   reduction; call [`tree::install`] to add `tree_fifo`/`tree_lifo` to
-//!   [`core::registry`];
+//!   reduction plus the tree-native per-link LP; call [`tree::install`]
+//!   to add `tree_fifo`/`tree_lifo`/`tree_lp` to [`core::registry`]
+//!   (`core::interleaved::install` likewise adds `interleaved_fifo`);
 //! * [`sim`] — the discrete-event star-network simulator (MPI-testbed
 //!   substitute);
 //! * [`report`] — tables, statistics, series files, parallel map.
