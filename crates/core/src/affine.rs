@@ -140,6 +140,9 @@ pub fn affine_fifo_for_set(
         one_port_rhs,
     )?;
 
+    // This path solves on the tableau directly (no engine router), so it
+    // runs the pre-solve static analyzer itself.
+    crate::lp_model::analyze_gate(&ir)?;
     let lp = ir.lower();
     let sol = dls_lp::solve_with::<f64>(
         &lp,
@@ -435,6 +438,8 @@ pub fn install() {
 }
 
 #[cfg(test)]
+// Unit tests assert exact outcomes of exact arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::lp_model::solve_fifo;

@@ -38,6 +38,14 @@ pub enum CoreError {
         /// Maximum supported for this platform size.
         limit: usize,
     },
+    /// The pre-solve static analyzer ([`dls_lp::analyze`]) found
+    /// error-severity diagnostics in a schedule model about to be lowered —
+    /// a structural bug in the builder that produced it. Carries the
+    /// rendered [`dls_lp::AnalysisReport`], which names each offending row
+    /// label and [`dls_lp::RowKind`]. Raised only when analysis is enabled
+    /// (debug builds, or `DLS_ANALYZE=1`; see
+    /// [`crate::lp_model::analysis_enabled`]).
+    InvalidModel(String),
     /// A pinned interleaved-master lead exceeds the platform's enrollment:
     /// the merge family only defines leads `1..=q`, so
     /// `interleaved_fifo@<lead>` does not apply to smaller platforms
@@ -88,6 +96,9 @@ impl fmt::Display for CoreError {
                 f,
                 "multi-round plan limited to {limit} rounds on this platform, requested {rounds}"
             ),
+            CoreError::InvalidModel(report) => {
+                write!(f, "schedule model failed static analysis: {report}")
+            }
             CoreError::LeadBeyondEnrollment { lead, enrolled } => write!(
                 f,
                 "interleaved lead {lead} exceeds the {enrolled}-worker enrollment \
@@ -151,6 +162,7 @@ mod tests {
         .is_applicability());
         assert!(!CoreError::from(LpError::Infeasible).is_applicability());
         assert!(!CoreError::MalformedOrder("dup".into()).is_applicability());
+        assert!(!CoreError::InvalidModel("dup row".into()).is_applicability());
         assert!(!CoreError::from(PlatformError::Empty).is_applicability());
     }
 

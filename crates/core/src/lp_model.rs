@@ -36,6 +36,7 @@
 use std::cell::{Cell, RefCell};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use dls_lp::{BasisCache, LpError, Problem, Scalar, ScheduleModel, SolverOptions, VarId};
 use dls_platform::{Platform, WorkerId};
@@ -100,6 +101,41 @@ pub fn warm_start_stats() -> (usize, usize) {
 pub fn reset_warm_start_stats() {
     WARM_HITS.store(0, Ordering::Relaxed);
     LP_SOLVES.store(0, Ordering::Relaxed);
+}
+
+/// `true` when the pre-solve static analyzer ([`dls_lp::analyze`]) runs on
+/// every schedule model before lowering. Defaults to on in debug builds
+/// (so the whole test suite doubles as analyzer coverage) and off in
+/// release; the `DLS_ANALYZE` environment variable overrides either way
+/// (`1`/`true` forces on — e.g. for a release sweep — and `0`/`false`
+/// forces off). Read once per process.
+pub fn analysis_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("DLS_ANALYZE") {
+        Ok(v) => {
+            let v = v.trim();
+            !(v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false"))
+        }
+        Err(_) => cfg!(debug_assertions),
+    })
+}
+
+/// The pre-solve gate: when [`analysis_enabled`], runs [`dls_lp::analyze`]
+/// over `model` and rejects error-severity findings as
+/// [`CoreError::InvalidModel`] (the rendered report names each offending
+/// row label and `RowKind`). Warnings — redundant-but-legal rows,
+/// conditioning hazards — are tolerated. Every IR entry point in the
+/// workspace (`solve_model`, `solve_scenario`, the affine builder's direct
+/// tableau path) calls this before lowering.
+pub fn analyze_gate(model: &ScheduleModel) -> Result<(), CoreError> {
+    if !analysis_enabled() {
+        return Ok(());
+    }
+    let report = dls_lp::analyze(model);
+    if report.has_errors() {
+        return Err(CoreError::InvalidModel(report.to_string()));
+    }
+    Ok(())
 }
 
 /// Cache key of a scenario family: platform identity (worker cost bits),
@@ -333,13 +369,16 @@ impl ModelSolution {
 /// per-thread [`BasisCache`], exactly like the scenario LPs: the revised
 /// engine warm-starts from the basis cached under `key` (defaulting to the
 /// model's own [`ScheduleModel::cache_key`]) and numerical failures retry
-/// once on the tableau. Counts toward [`warm_start_stats`].
+/// once on the tableau. Counts toward [`warm_start_stats`]. When
+/// [`analysis_enabled`] (debug builds, `DLS_ANALYZE=1`), the model first
+/// passes the [`analyze_gate`] static checks.
 ///
 /// This is the engine entry point for IR-built LP variants (the
 /// interleaved-master and tree-native families); the canonical scenario
 /// path keeps its platform-derived key so FIFO-family strategies continue
 /// to share basis slots.
 pub fn solve_model(model: &ScheduleModel, key: Option<u64>) -> Result<ModelSolution, CoreError> {
+    analyze_gate(model)?;
     let lp = model.lower();
     let key = key.unwrap_or_else(|| model.cache_key());
     solve_lowered(&lp, key)
@@ -391,6 +430,7 @@ pub fn solve_scenario(
     model: PortModel,
 ) -> Result<LpSchedule, CoreError> {
     let (ir, vars) = scenario_model(platform, send_order, return_order, model)?;
+    analyze_gate(&ir)?;
     // The platform-derived key (not the IR's structural key) so the
     // FIFO-family strategies keep sharing one basis slot per platform —
     // the pre-IR warm-start behavior, bit for bit.
@@ -450,6 +490,8 @@ pub fn solve_lifo(
 }
 
 #[cfg(test)]
+// Unit tests assert exact outcomes of exact arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::timeline::{makespan, Timeline};
@@ -736,6 +778,49 @@ mod tests {
         let scenario = solve_fifo(&p, &ids(&[0, 1, 2]), PortModel::OnePort).unwrap();
         assert!((first.objective - scenario.throughput).abs() < 1e-9);
         assert!((first.value(vars.alphas[0]) - scenario.schedule.load(WorkerId(0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analyzer_gate_rejects_corrupt_models_in_debug_builds() {
+        // Tests run with debug_assertions, so the gate is on by default
+        // (unless the environment explicitly disabled it).
+        if !analysis_enabled() {
+            return;
+        }
+        let mut ir = ScheduleModel::maximize();
+        let alphas = ir.group("alpha", (1..=2).map(|i| (format!("alpha_P{i}"), 1.0)));
+        ir.deadline("deadline_P1", [(alphas.var(0), 3.0)], 1.0);
+        ir.deadline("deadline_P2", [(alphas.var(1), 4.0)], 1.0);
+        // Sign-flipped one-port row: the class of builder bug the gate is
+        // for. The error must name the row and its kind.
+        ir.one_port(
+            "one_port",
+            [(alphas.var(0), -1.5), (alphas.var(1), 3.0)],
+            1.0,
+        );
+        match solve_model(&ir, None) {
+            Err(CoreError::InvalidModel(report)) => {
+                assert!(report.contains("one_port"), "{report}");
+                assert!(report.contains("OnePort"), "{report}");
+            }
+            other => panic!("expected InvalidModel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_scenario_shape_passes_the_gate() {
+        // The gate is active in debug test runs: these solves double as
+        // analyzer acceptance coverage for the canonical builder.
+        let p = platform();
+        for (send, ret) in [
+            (ids(&[0, 1, 2]), ids(&[0, 1, 2])),
+            (ids(&[2, 0, 1]), ids(&[1, 0, 2])),
+            (ids(&[0, 1, 2]), ids(&[2, 1, 0])),
+        ] {
+            for model in [PortModel::OnePort, PortModel::TwoPort] {
+                solve_scenario(&p, &send, &ret, model).unwrap();
+            }
+        }
     }
 
     #[test]

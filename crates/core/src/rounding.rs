@@ -62,6 +62,8 @@ pub fn integer_schedule(schedule: &Schedule, total_units: u64) -> Schedule {
 }
 
 #[cfg(test)]
+// Unit tests assert exact outcomes of exact arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use dls_platform::{Platform, WorkerId};

@@ -216,6 +216,8 @@ impl Schedule {
 }
 
 #[cfg(test)]
+// Unit tests assert exact outcomes of exact arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

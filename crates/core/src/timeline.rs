@@ -297,6 +297,8 @@ pub fn throughput(platform: &Platform, schedule: &Schedule, model: PortModel) ->
 }
 
 #[cfg(test)]
+// Unit tests assert exact outcomes of exact arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use dls_platform::Platform;

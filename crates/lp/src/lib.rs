@@ -22,7 +22,11 @@
 //! ([`ScheduleModel`]): named variable groups, tagged constraint
 //! combinators (deadline/one-port/capacity/precedence), deterministic
 //! lowering and structural cache keys — the shared vocabulary every
-//! divisible-load LP variant in the workspace is built from.
+//! divisible-load LP variant in the workspace is built from. The
+//! [`analyze`] pass statically checks a model's structural invariants
+//! (row-kind signatures, duplicate/dominated rows, conditioning) *before*
+//! lowering, turning builder bugs into named diagnostics instead of
+//! garbage optima.
 //!
 //! Both are generic over the [`Scalar`] backend:
 //!
@@ -50,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analyze;
 mod error;
 mod model;
 mod problem;
@@ -58,6 +63,7 @@ mod revised;
 mod scalar;
 mod simplex;
 
+pub use analyze::{analyze, AnalysisReport, Diagnostic, Severity, SPREAD_LIMIT};
 pub use error::LpError;
 pub use model::{MVar, RowKind, ScheduleModel, StandardShape, VarGroup};
 pub use problem::{Constraint, Problem, Relation, Sense, VarId};

@@ -145,12 +145,12 @@ pub enum RowKind {
 
 /// One IR row: a tagged, labeled sparse constraint.
 #[derive(Debug, Clone)]
-struct ModelRow {
-    label: String,
-    kind: RowKind,
-    terms: Vec<(usize, f64)>,
-    relation: Relation,
-    rhs: f64,
+pub(crate) struct ModelRow {
+    pub(crate) label: String,
+    pub(crate) kind: RowKind,
+    pub(crate) terms: Vec<(usize, f64)>,
+    pub(crate) relation: Relation,
+    pub(crate) rhs: f64,
 }
 
 /// Row/column counts of the standardized instance a model lowers to,
@@ -353,11 +353,48 @@ impl ScheduleModel {
         self.rows.iter().map(|r| r.kind)
     }
 
+    /// Name of a declared variable (declaration order).
+    pub fn var_name(&self, v: MVar) -> &str {
+        &self.names[v.0]
+    }
+
+    /// The IR rows, for the static analyzer (crate-internal: `ModelRow` is
+    /// not part of the public surface).
+    pub(crate) fn model_rows(&self) -> &[ModelRow] {
+        &self.rows
+    }
+
+    /// Declared variable names, for the static analyzer.
+    pub(crate) fn var_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Objective coefficients in declaration order, for the static analyzer.
+    pub(crate) fn objective_coeffs(&self) -> &[f64] {
+        &self.objective
+    }
+
     /// Lowers the model to a raw [`Problem`]: variables in declaration
     /// order, rows in declaration order. Deterministic — two identical
     /// model builds lower to byte-identical problems, so warm-start keys
     /// and cached bases carry over between builds.
+    ///
+    /// In debug builds an out-of-range variable reference fails here with
+    /// the offending row's label instead of index-panicking deep inside the
+    /// solver's standardization.
     pub fn lower(&self) -> Problem {
+        #[cfg(debug_assertions)]
+        for row in &self.rows {
+            if let Some(&(i, _)) = row.terms.iter().find(|&&(i, _)| i >= self.names.len()) {
+                panic!(
+                    "row '{}' ({:?}) references variable index {i}, but the model \
+                     declares only {} variables",
+                    row.label,
+                    row.kind,
+                    self.names.len()
+                );
+            }
+        }
         let mut p = Problem::new(self.sense);
         for (name, &obj) in self.names.iter().zip(&self.objective) {
             p.add_var(name.clone(), obj);

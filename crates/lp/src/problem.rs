@@ -298,7 +298,7 @@ impl Problem {
         let _ = write!(out, " obj:");
         let mut wrote_obj = false;
         for (i, &c) in self.objective.iter().enumerate() {
-            if c != 0.0 {
+            if c.abs() > 0.0 {
                 let _ = write!(out, " {:+} {}", c, names[i]);
                 wrote_obj = true;
             }
@@ -321,7 +321,7 @@ impl Problem {
             }
             let mut wrote_term = false;
             for (i, &c) in dense.iter().enumerate() {
-                if c != 0.0 {
+                if c.abs() > 0.0 {
                     let _ = write!(out, " {:+} {}", c, names[i]);
                     wrote_term = true;
                 }
@@ -371,7 +371,7 @@ impl Problem {
         if x.iter().any(|&v| v < -tol) {
             return Some("non-negativity".to_string());
         }
-        for (row, rel, rhs) in self.dense_rows() {
+        for (k, (row, rel, rhs)) in self.dense_rows().into_iter().enumerate() {
             let lhs: f64 = row.iter().zip(x).map(|(c, v)| c * v).sum();
             let ok = match rel {
                 Relation::Le => lhs <= rhs + tol,
@@ -379,14 +379,8 @@ impl Problem {
                 Relation::Eq => (lhs - rhs).abs() <= tol,
             };
             if !ok {
-                let label = self
-                    .constraints
-                    .iter()
-                    .zip(self.dense_rows())
-                    .find(|(_, (r, _, rh))| r == &row && *rh == rhs)
-                    .map(|(c, _)| c.label.clone())
-                    .unwrap_or_default();
-                return Some(label);
+                // dense_rows() is index-aligned with `constraints`.
+                return Some(self.constraints[k].label.clone());
             }
         }
         None
@@ -717,6 +711,8 @@ mod parse {
 }
 
 #[cfg(test)]
+// Unit tests assert exact outcomes of exact arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -186,10 +186,7 @@ impl Ord for Rational {
             (Some(l), Some(r)) => l.cmp(&r),
             // Fall back to f64 comparison only on overflow; magnitudes this
             // large are far outside the solver's intended domain anyway.
-            _ => self
-                .to_f64()
-                .partial_cmp(&other.to_f64())
-                .unwrap_or(Ordering::Equal),
+            _ => self.to_f64().total_cmp(&other.to_f64()),
         }
     }
 }
@@ -239,6 +236,8 @@ impl From<i64> for Rational {
 }
 
 #[cfg(test)]
+// Unit tests assert exact outcomes of exact arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -574,6 +574,8 @@ fn run_phase<S: Scalar>(
 }
 
 #[cfg(test)]
+// Unit tests assert exact outcomes of exact arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::problem::{Problem, Relation};

@@ -163,12 +163,7 @@ impl Platform {
     /// first"). Ties broken by declaration order (stable).
     pub fn order_by_c(&self) -> Vec<WorkerId> {
         let mut ids: Vec<WorkerId> = self.ids().collect();
-        ids.sort_by(|a, b| {
-            self.worker(*a)
-                .c
-                .partial_cmp(&self.worker(*b).c)
-                .expect("finite costs")
-        });
+        ids.sort_by(|a, b| self.worker(*a).c.total_cmp(&self.worker(*b).c));
         ids
     }
 
@@ -184,12 +179,7 @@ impl Platform {
     /// `INC_W` heuristic: "serve fast-computing workers first").
     pub fn order_by_w(&self) -> Vec<WorkerId> {
         let mut ids: Vec<WorkerId> = self.ids().collect();
-        ids.sort_by(|a, b| {
-            self.worker(*a)
-                .w
-                .partial_cmp(&self.worker(*b).w)
-                .expect("finite costs")
-        });
+        ids.sort_by(|a, b| self.worker(*a).w.total_cmp(&self.worker(*b).w));
         ids
     }
 
@@ -246,6 +236,8 @@ impl fmt::Display for Platform {
 }
 
 #[cfg(test)]
+// Unit tests assert exact outcomes of exact arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

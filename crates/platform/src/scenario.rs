@@ -56,6 +56,8 @@ pub fn fig8_comm_factors() -> Vec<f64> {
 }
 
 #[cfg(test)]
+// Unit tests assert exact outcomes of exact arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

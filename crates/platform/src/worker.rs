@@ -6,6 +6,9 @@ use core::fmt;
 ///
 /// Identifies `P_{i+1}` in the paper's numbering (the master is `P0` and
 /// owns no id — it has no processing capability, per Section 2.1).
+// The derived PartialOrd forwards to usize::partial_cmp, which the
+// workspace-wide disallowed-methods ban would otherwise flag.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct WorkerId(pub usize);
 
@@ -75,6 +78,8 @@ impl Worker {
 }
 
 #[cfg(test)]
+// Unit tests assert exact outcomes of exact arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -52,6 +52,8 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
 }
 
 #[cfg(test)]
+// Unit tests assert exact outcomes of exact arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

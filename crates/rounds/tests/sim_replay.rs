@@ -11,6 +11,9 @@
 //! what must hold universally is that interleaving never *invalidates* the
 //! replay — the simulated one-port constraints stay satisfied.
 
+// Bit-for-bit replay determinism is the property under test.
+#![allow(clippy::float_cmp)]
+
 use dls_core::prelude::optimal_fifo;
 use dls_platform::Platform;
 use dls_rounds::{plan_geometric, plan_lp, plan_uniform, RoundPlan};

@@ -196,6 +196,8 @@ pub fn simulate_reps(
 }
 
 #[cfg(test)]
+// Unit tests assert exact outcomes of exact arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use dls_core::prelude::*;
@@ -349,7 +351,7 @@ mod tests {
                 .filter(|s| s.kind.uses_master_port() && s.len() > 0.0)
                 .map(|s| (s.start, s.end))
                 .collect();
-            port.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            port.sort_by(|a, b| a.0.total_cmp(&b.0));
             for w in port.windows(2) {
                 assert!(
                     w[0].1 <= w[1].0 + 1e-9,

@@ -123,6 +123,8 @@ impl RealismModel {
 }
 
 #[cfg(test)]
+// Unit tests assert exact outcomes of exact arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

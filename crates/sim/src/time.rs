@@ -51,7 +51,7 @@ impl PartialOrd for SimTime {
 
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -78,6 +78,8 @@ impl fmt::Display for SimTime {
 }
 
 #[cfg(test)]
+// Unit tests assert exact outcomes of exact arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -499,6 +499,8 @@ pub fn verify_tree(
 }
 
 #[cfg(test)]
+// Unit tests assert exact outcomes of exact arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use dls_core::PortModel;

@@ -76,7 +76,7 @@ proptest! {
             .filter(|sp| sp.kind.uses_master_port() && sp.len() > 0.0)
             .map(|sp| (sp.start, sp.end))
             .collect();
-        port.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        port.sort_by(|a, b| a.0.total_cmp(&b.0));
         for w in port.windows(2) {
             prop_assert!(w[0].1 <= w[1].0 + 1e-9,
                 "port overlap: {:?} then {:?}", w[0], w[1]);

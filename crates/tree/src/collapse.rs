@@ -226,6 +226,8 @@ pub fn verify_expansion(tree: &TreePlatform, timings: &[NodeTiming], tol: f64) -
 }
 
 #[cfg(test)]
+// Unit tests assert exact outcomes of exact arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use dls_core::prelude::*;

@@ -309,6 +309,8 @@ impl SchedulerProvider for TreeProvider {
 }
 
 #[cfg(test)]
+// Unit tests assert exact outcomes of exact arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

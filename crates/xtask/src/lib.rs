@@ -1,0 +1,592 @@
+//! Source-level convention linter for the workspace (`cargo xtask lint`).
+//!
+//! Clippy enforces language-level hygiene (see `[workspace.lints]` and
+//! `clippy.toml`); this linter enforces the *project* conventions that no
+//! general-purpose tool knows about:
+//!
+//! * **`ir-lowering`** — every LP row in the workspace must lower through
+//!   the `dls_lp::ScheduleModel` IR, so the pre-solve static analyzer
+//!   (`dls_lp::analyze`) sees it. Hand-rolled `Problem::add_constraint`
+//!   calls are forbidden outside the IR's own home
+//!   (`crates/lp/src/model.rs`, `crates/lp/src/problem.rs`).
+//! * **`lp-core-discipline`** — in the LP core (`crates/lp/src/*`,
+//!   `crates/core/src/lp_model.rs`), `partial_cmp(...).unwrap()` /
+//!   `.expect(...)` chains and float-literal `==`/`!=` comparisons are
+//!   forbidden: use `f64::total_cmp` or the `Scalar` tolerance helpers.
+//! * **`baseline-keys`** — every measurement key in a
+//!   `benches/*_baseline.json` must be referenced by its sibling smoke
+//!   gate (`benches/<name>.rs`), so a renamed gate cannot silently stop
+//!   comparing against its checked-in baseline.
+//!
+//! The scanner is textual, not syntactic: it strips `//` comments and
+//! string literals, and stops at a file's trailing `#[cfg(test)]` module
+//! (tests may build raw problems and compare exact floats). A line may
+//! carry an explicit waiver: `// xtask: allow(<rule>)`.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One rule violation, printed as `file:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// File the violation is in (relative to the linted root when
+    /// produced by [`lint_workspace`]).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule identifier (`ir-lowering`, `lp-core-discipline`,
+    /// `baseline-keys`).
+    pub rule: &'static str,
+    /// What went wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// A source line with comments and string-literal *contents* blanked out
+/// (delimiters kept), so pattern checks cannot fire inside either.
+#[derive(Debug)]
+struct CodeLine {
+    number: usize,
+    code: String,
+    waivers: Vec<String>,
+}
+
+/// Strips a Rust source file down to the lines the rules look at: comment
+/// text and string contents blanked, everything from a trailing
+/// `#[cfg(test)]` module onward dropped. Good enough for a convention
+/// linter; not a parser.
+fn code_lines(content: &str) -> Vec<CodeLine> {
+    let mut out = Vec::new();
+    let mut in_block_comment = 0usize;
+    for (idx, raw) in content.lines().enumerate() {
+        let trimmed = raw.trim();
+        if in_block_comment == 0 && trimmed == "#[cfg(test)]" {
+            // Convention: the trailing unit-test module. Tests are exempt.
+            break;
+        }
+        let mut code = String::with_capacity(raw.len());
+        let mut waivers = Vec::new();
+        let mut chars = raw.chars().peekable();
+        let mut in_string = false;
+        while let Some(ch) = chars.next() {
+            if in_block_comment > 0 {
+                if ch == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    in_block_comment -= 1;
+                } else if ch == '/' && chars.peek() == Some(&'*') {
+                    chars.next();
+                    in_block_comment += 1;
+                }
+                continue;
+            }
+            if in_string {
+                match ch {
+                    '\\' => {
+                        chars.next();
+                    }
+                    '"' => {
+                        in_string = false;
+                        code.push('"');
+                    }
+                    _ => code.push('_'),
+                }
+                continue;
+            }
+            match ch {
+                '/' if chars.peek() == Some(&'/') => {
+                    // Line comment: scan the rest for an explicit waiver.
+                    let rest: String = chars.collect();
+                    if let Some(pos) = rest.find("xtask: allow(") {
+                        let tail = &rest[pos + "xtask: allow(".len()..];
+                        if let Some(end) = tail.find(')') {
+                            waivers.push(tail[..end].trim().to_string());
+                        }
+                    }
+                    break;
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    in_block_comment += 1;
+                }
+                '"' => {
+                    in_string = true;
+                    code.push('"');
+                }
+                '\'' => {
+                    // Char literal or lifetime; skip a possible escaped or
+                    // plain char so '"' cannot open a string.
+                    code.push('\'');
+                    match chars.peek() {
+                        Some('\\') => {
+                            chars.next();
+                            chars.next();
+                        }
+                        Some(&c) if c != ' ' => {
+                            // Lifetimes ('a) have no closing quote; chars do.
+                            let mut look = chars.clone();
+                            look.next();
+                            if look.peek() == Some(&'\'') {
+                                chars.next();
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                _ => code.push(ch),
+            }
+        }
+        out.push(CodeLine {
+            number: idx + 1,
+            code,
+            waivers,
+        });
+    }
+    out
+}
+
+fn waived(line: &CodeLine, rule: &str) -> bool {
+    line.waivers.iter().any(|w| w == rule)
+}
+
+/// `true` when `s[at..]` (after optional spaces and a sign) starts with a
+/// float literal such as `1.0`, `.5` or `3.`.
+fn float_literal_follows(s: &str, at: usize) -> bool {
+    let rest = s[at..].trim_start().trim_start_matches('-').trim_start();
+    let mut chars = rest.chars().peekable();
+    let mut digits = 0;
+    while let Some(c) = chars.peek() {
+        if c.is_ascii_digit() || *c == '_' {
+            digits += 1;
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    match chars.peek() {
+        Some('.') => {
+            chars.next();
+            // `1.0`, `.5`, `3.` but not `1..4` (range) or `x.method()`.
+            digits > 0 || chars.peek().is_some_and(|c| c.is_ascii_digit())
+        }
+        _ => false,
+    }
+}
+
+/// `true` when the text *ending* at `at` ends with a float literal.
+fn float_literal_precedes(s: &str, at: usize) -> bool {
+    let rest = s[..at].trim_end();
+    let bytes = rest.as_bytes();
+    let mut i = bytes.len();
+    while i > 0 && (bytes[i - 1].is_ascii_digit() || bytes[i - 1] == b'_') {
+        i -= 1;
+    }
+    if i == 0 || bytes[i - 1] != b'.' {
+        return false;
+    }
+    let before_dot = i - 1;
+    let mut j = before_dot;
+    let mut digits_before = 0;
+    while j > 0 && (bytes[j - 1].is_ascii_digit() || bytes[j - 1] == b'_') {
+        j -= 1;
+        digits_before += 1;
+    }
+    // `1.0 ==`, `3. ==`; reject `..3 ==` (range) and `x.0 ==` (tuple field).
+    digits_before > 0
+        && (j == 0
+            || !bytes[j - 1].is_ascii_alphanumeric()
+                && bytes[j - 1] != b'.'
+                && bytes[j - 1] != b'_')
+}
+
+/// Rule `ir-lowering`: no hand-rolled `Problem` rows outside the IR's home.
+pub fn check_ir_lowering(path: &Path, content: &str) -> Vec<Violation> {
+    const RULE: &str = "ir-lowering";
+    let mut out = Vec::new();
+    for line in code_lines(content) {
+        if waived(&line, RULE) {
+            continue;
+        }
+        if line.code.contains(".add_constraint(") {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: line.number,
+                rule: RULE,
+                message: "hand-rolled Problem row construction — declare the row through \
+                          dls_lp::ScheduleModel (deadline/one_port/capacity/precedence/\
+                          constraint) so the static analyzer sees it"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Rule `lp-core-discipline`: total-order comparisons only in the LP core.
+pub fn check_lp_core_discipline(path: &Path, content: &str) -> Vec<Violation> {
+    const RULE: &str = "lp-core-discipline";
+    let mut out = Vec::new();
+    for line in code_lines(content) {
+        if waived(&line, RULE) {
+            continue;
+        }
+        if line.code.contains("partial_cmp") {
+            if let Some(at) = line.code.find("partial_cmp") {
+                let after = &line.code[at..];
+                if after.contains(".unwrap()") || after.contains(".expect(") {
+                    out.push(Violation {
+                        file: path.to_path_buf(),
+                        line: line.number,
+                        rule: RULE,
+                        message: "partial_cmp(..).unwrap() panics on NaN mid-pivot — use \
+                                  f64::total_cmp or the Scalar tolerance helpers"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        for op in ["==", "!="] {
+            let mut from = 0;
+            while let Some(pos) = line.code[from..].find(op) {
+                let at = from + pos;
+                // Skip `===`-like runs and `<=`, `>=`, `!=` handled by op.
+                let before_ok =
+                    at == 0 || !matches!(line.code.as_bytes()[at - 1], b'=' | b'<' | b'>' | b'!');
+                let after = at + op.len();
+                let after_ok = after >= line.code.len() || line.code.as_bytes()[after] != b'=';
+                if before_ok
+                    && after_ok
+                    && (float_literal_follows(&line.code, after)
+                        || float_literal_precedes(&line.code, at))
+                {
+                    out.push(Violation {
+                        file: path.to_path_buf(),
+                        line: line.number,
+                        rule: RULE,
+                        message: format!(
+                            "float-literal `{op}` comparison in the LP core — compare \
+                             against the engine tolerances (Scalar::is_zero, \
+                             coefficient_scale-relative bounds) instead"
+                        ),
+                    });
+                }
+                from = after;
+            }
+        }
+    }
+    out
+}
+
+/// Top-level string keys of a flat JSON object, with 1-based line numbers.
+/// String *values* are skipped (a key name quoted inside the `comment`
+/// field is not a key).
+fn json_keys(doc: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut chars = doc.chars().peekable();
+    while let Some(ch) = chars.next() {
+        match ch {
+            '\n' => line += 1,
+            '"' => {
+                let mut s = String::new();
+                for c in chars.by_ref() {
+                    match c {
+                        '"' => break,
+                        '\n' => line += 1,
+                        _ => s.push(c),
+                    }
+                }
+                // A string followed by ':' is a key; anything else is a
+                // value. Skip the value if it is itself a string.
+                while matches!(chars.peek(), Some(' ' | '\t')) {
+                    chars.next();
+                }
+                if chars.peek() == Some(&':') {
+                    chars.next();
+                    out.push((s, line));
+                    // If the value is a string, consume it so its contents
+                    // are never scanned for keys.
+                    while matches!(chars.peek(), Some(' ' | '\t')) {
+                        chars.next();
+                    }
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        let mut escaped = false;
+                        for c in chars.by_ref() {
+                            match c {
+                                '\n' => line += 1,
+                                '\\' if !escaped => escaped = true,
+                                '"' if !escaped => break,
+                                _ => escaped = false,
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Keys every smoke gate reads generically, exempt from the reference
+/// check (see `dls_bench::smoke::run_gate`).
+const GENERIC_BASELINE_KEYS: &[&str] = &["comment", "calibration_ns", "max_regression"];
+
+/// Rule `baseline-keys`: every measurement key of `*_baseline.json` must
+/// appear (quoted) in the sibling `<name>.rs` smoke gate.
+pub fn check_baseline_keys(
+    json_path: &Path,
+    json: &str,
+    bench_path: &Path,
+    bench_src: Option<&str>,
+) -> Vec<Violation> {
+    const RULE: &str = "baseline-keys";
+    let mut out = Vec::new();
+    let Some(bench_src) = bench_src else {
+        return vec![Violation {
+            file: json_path.to_path_buf(),
+            line: 1,
+            rule: RULE,
+            message: format!(
+                "baseline has no sibling smoke gate {} — every baseline must be \
+                 compared by a bench",
+                bench_path.display()
+            ),
+        }];
+    };
+    for (key, line) in json_keys(json) {
+        if GENERIC_BASELINE_KEYS.contains(&key.as_str()) {
+            continue;
+        }
+        let needle = format!("\"{key}\"");
+        if !bench_src.contains(&needle) {
+            out.push(Violation {
+                file: json_path.to_path_buf(),
+                line,
+                rule: RULE,
+                message: format!(
+                    "baseline key \"{key}\" is never referenced by {} — the smoke gate \
+                     no longer compares it (rename the key or wire it back in)",
+                    bench_path.display()
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Files rule `ir-lowering` must never flag: the IR and raw-builder home.
+fn ir_exempt(rel: &Path) -> bool {
+    rel == Path::new("crates/lp/src/model.rs") || rel == Path::new("crates/lp/src/problem.rs")
+}
+
+/// `true` when `rel` is in the LP core (rule `lp-core-discipline` scope).
+fn lp_core_scoped(rel: &Path) -> bool {
+    rel.starts_with("crates/lp/src") || rel == Path::new("crates/core/src/lp_model.rs")
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the workspace rooted at `root` (the directory holding the
+/// top-level `Cargo.toml`). Returns every violation, in path order.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+
+    // Rules 1 + 2 over crates/*/src (vendor/ and benches/tests/ are out of
+    // scope by construction; xtask itself is skipped — its fixtures and
+    // pattern strings would self-flag).
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            let src = entry.path().join("src");
+            if entry.path().file_name().is_some_and(|n| n == "xtask") {
+                continue;
+            }
+            if src.is_dir() {
+                walk_rs(&src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+    for path in &files {
+        let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+        let content = fs::read_to_string(path)?;
+        if !ir_exempt(&rel) {
+            for mut v in check_ir_lowering(&rel, &content) {
+                v.file = rel.clone();
+                violations.push(v);
+            }
+        }
+        if lp_core_scoped(&rel) {
+            violations.extend(check_lp_core_discipline(&rel, &content));
+        }
+    }
+
+    // Rule 3 over crates/bench/benches/*_baseline.json.
+    let benches = root.join("crates/bench/benches");
+    if benches.is_dir() {
+        let mut jsons: Vec<PathBuf> = fs::read_dir(&benches)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.ends_with("_baseline.json"))
+            })
+            .collect();
+        jsons.sort();
+        for json_path in jsons {
+            let stem = json_path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_suffix("_baseline.json"))
+                .unwrap_or_default()
+                .to_string();
+            let bench_path = benches.join(format!("{stem}.rs"));
+            let json = fs::read_to_string(&json_path)?;
+            let bench_src = fs::read_to_string(&bench_path).ok();
+            let rel_json = json_path
+                .strip_prefix(root)
+                .unwrap_or(&json_path)
+                .to_path_buf();
+            let rel_bench = bench_path
+                .strip_prefix(root)
+                .unwrap_or(&bench_path)
+                .to_path_buf();
+            violations.extend(check_baseline_keys(
+                &rel_json,
+                &json,
+                &rel_bench,
+                bench_src.as_deref(),
+            ));
+        }
+    }
+
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ir_lowering_flags_raw_rows_but_not_comments_tests_or_waivers() {
+        let src = "\
+use dls_lp::Problem;
+
+fn build() {
+    let mut p = Problem::maximize();
+    // p.add_constraint(\"in a comment\", [], Relation::Le, 1.0);
+    p.add_constraint(\"bad\", [], Relation::Le, 1.0);
+    p.add_constraint(\"waived\", [], Relation::Le, 1.0); // xtask: allow(ir-lowering)
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_tests() {
+        p.add_constraint(\"fine here\", [], Relation::Le, 1.0);
+    }
+}
+";
+        let v = check_ir_lowering(Path::new("crates/foo/src/bad.rs"), src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 6);
+        assert_eq!(v[0].rule, "ir-lowering");
+        assert!(v[0].to_string().starts_with("crates/foo/src/bad.rs:6:"));
+    }
+
+    #[test]
+    fn lp_core_discipline_flags_partial_cmp_chains_and_float_eq() {
+        let src = "\
+fn hot(xs: &mut [f64], t: f64) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(|a, b| a.partial_cmp(b).expect(\"no NaN\"));
+    xs.sort_by(|a, b| a.total_cmp(b));
+    if t == 1.0 {}
+    if 0.5 != t {}
+    if t <= 1.0 {}
+    let r = 1..2;
+    let _ = r;
+}
+";
+        let v = check_lp_core_discipline(Path::new("crates/lp/src/simplex.rs"), src);
+        let lines: Vec<usize> = v.iter().map(|x| x.line).collect();
+        assert_eq!(lines, vec![2, 3, 5, 6], "{v:?}");
+    }
+
+    #[test]
+    fn float_literal_detection_avoids_ranges_and_ints() {
+        // Integer equality and range syntax are not float comparisons.
+        let src = "\
+fn f(n: usize) {
+    if n == 1 {}
+    for _ in 0..2 {}
+    if n == 10 {}
+}
+";
+        let v = check_lp_core_discipline(Path::new("crates/lp/src/x.rs"), src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn string_contents_never_match_patterns() {
+        let src = "fn f() { let s = \"call .add_constraint( and x == 1.0 here\"; }\n";
+        assert!(check_ir_lowering(Path::new("a.rs"), src).is_empty());
+        assert!(check_lp_core_discipline(Path::new("a.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn baseline_keys_flags_unreferenced_measurements_only() {
+        let json = "{\n  \"comment\": \"mentions \\\"ghost_ns\\\" harmlessly\",\n  \
+                    \"p128_ns\": 10,\n  \"ghost_ns\": 20,\n  \"calibration_ns\": 5,\n  \
+                    \"max_regression\": 2.0\n}\n";
+        let bench = "run_gate(path, \"p128_ns\", \"label\", f);\n";
+        let v = check_baseline_keys(
+            Path::new("crates/bench/benches/foo_baseline.json"),
+            json,
+            Path::new("crates/bench/benches/foo.rs"),
+            Some(bench),
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("ghost_ns"));
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn baseline_without_gate_is_a_violation() {
+        let v = check_baseline_keys(
+            Path::new("crates/bench/benches/orphan_baseline.json"),
+            "{\"x_ns\": 1}",
+            Path::new("crates/bench/benches/orphan.rs"),
+            None,
+        );
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("no sibling smoke gate"));
+    }
+}

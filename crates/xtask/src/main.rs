@@ -1,0 +1,71 @@
+//! `cargo xtask <task>` — workspace development tasks.
+//!
+//! Currently one task: `lint`, the source-level convention linter (see
+//! the library docs for the rule list).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/xtask has a workspace root two levels up")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let task = args.next();
+    match task.as_deref() {
+        Some("lint") => {
+            let mut root = workspace_root();
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--root" => match args.next() {
+                        Some(p) => root = PathBuf::from(p),
+                        None => {
+                            eprintln!("--root requires a path");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    other => {
+                        eprintln!("unknown argument: {other}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            match xtask::lint_workspace(&root) {
+                Ok(violations) if violations.is_empty() => {
+                    println!("xtask lint: clean ({})", root.display());
+                    ExitCode::SUCCESS
+                }
+                Ok(violations) => {
+                    for v in &violations {
+                        println!("{v}");
+                    }
+                    println!(
+                        "xtask lint: {} violation{} in {}",
+                        violations.len(),
+                        if violations.len() == 1 { "" } else { "s" },
+                        root.display()
+                    );
+                    ExitCode::FAILURE
+                }
+                Err(err) => {
+                    eprintln!("xtask lint: io error: {err}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown task: {other}\n\navailable tasks:\n  lint    run the source-level convention linter");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask <task>\n\navailable tasks:\n  lint    run the source-level convention linter");
+            ExitCode::FAILURE
+        }
+    }
+}

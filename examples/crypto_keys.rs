@@ -11,6 +11,10 @@
 //!
 //! Run with: `cargo run --release --example crypto_keys`
 
+// Examples print their findings; the workspace print_stdout deny
+// applies to library code only.
+#![allow(clippy::print_stdout)]
+
 use dls::core::brute_force::best_fifo;
 use dls::core::prelude::*;
 use dls::core::PortModel;

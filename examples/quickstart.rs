@@ -4,6 +4,10 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+// Examples print their findings; the workspace print_stdout deny
+// applies to library code only.
+#![allow(clippy::print_stdout)]
+
 use dls::core::prelude::*;
 use dls::core::PortModel;
 use dls::platform::Platform;

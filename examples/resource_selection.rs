@@ -8,6 +8,10 @@
 //!
 //! Run with: `cargo run --release --example resource_selection`
 
+// Examples print their findings; the workspace print_stdout deny
+// applies to library code only.
+#![allow(clippy::print_stdout)]
+
 use dls::core::prelude::*;
 use dls::platform::scenario;
 use dls::report::{num, Table};

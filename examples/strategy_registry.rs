@@ -4,6 +4,10 @@
 //! Run with: `cargo run --example strategy_registry [p]` where `p` is the
 //! number of workers (default 5, bus platform so every strategy applies).
 
+// Examples print their findings; the workspace print_stdout deny
+// applies to library code only.
+#![allow(clippy::print_stdout)]
+
 use dls::prelude::*;
 
 fn main() {

@@ -6,6 +6,10 @@
 //!
 //! Run with: `cargo run --release --example trace_gantt [fifo|lifo]`
 
+// Examples print their findings; the workspace print_stdout deny
+// applies to library code only.
+#![allow(clippy::print_stdout)]
+
 use dls::core::prelude::*;
 use dls::platform::scenario;
 use dls::sim::{gantt, simulate, SimConfig};
