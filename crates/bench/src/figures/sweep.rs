@@ -280,6 +280,7 @@ pub fn run_sweep(cfg: &SweepConfig, variant: &SweepVariant) -> SweepResult {
     let engine = dls_core::lp_model::current_engine();
     let evaluated: Vec<Vec<StrategyOutcome>> = par_map(&items, |item| {
         dls_core::lp_model::with_engine(engine, || {
+            dls_obs::counter!("sweep.instances").incr();
             let (comm, comp) = &factor_sets[item.platform_idx];
             let n = item.n;
             let app = MatrixApp::new(n);
@@ -371,6 +372,7 @@ pub fn run_sweep(cfg: &SweepConfig, variant: &SweepVariant) -> SweepResult {
                         StrategyOutcome::Done(_) => None,
                     })
                     .expect("failures counted above");
+                dls_obs::counter!("sweep.skips").add(failures as u64);
                 skipped.push(SkippedStrategy {
                     id: variant.schedulers[si].clone(),
                     legend: s.legend().to_string(),
@@ -497,6 +499,7 @@ fn run_axis_sweep(
     let engine = dls_core::lp_model::current_engine();
     let evaluated: Vec<(f64, Vec<Result<f64, String>>)> = par_map(&factor_sets, |(comm, comp)| {
         dls_core::lp_model::with_engine(engine, || {
+            dls_obs::counter!("sweep.instances").incr();
             let platform = cluster
                 .platform(&app, comm, comp)
                 .expect("sampled factors valid");
@@ -541,6 +544,7 @@ fn run_axis_sweep(
                     .iter()
                     .find_map(|(_, o)| o[ci].as_ref().err().cloned())
                     .expect("failures counted above");
+                dls_obs::counter!("sweep.skips").add(failures as u64);
                 skipped.push(SkippedStrategy {
                     id: full.clone(),
                     legend: s.legend().to_string(),

@@ -136,6 +136,17 @@ pub fn run_gate(
         std::process::exit(1);
     }
     println!("smoke: OK");
+
+    // Opt-in per-gate snapshot artifact: with `DLS_TRACE` set, every gate
+    // emits the metrics accumulated by the measured operation (labelled by
+    // gate), so a regression investigation starts from iteration and
+    // refactorization histograms instead of a bare wall-clock ratio. Gauges
+    // record the gate's own numbers alongside.
+    if !matches!(dls_obs::mode(), dls_obs::Mode::Disabled) {
+        dls_obs::gauge!("smoke.measured_ns").set(measured_ns);
+        dls_obs::gauge!("smoke.normalized_ratio").set(ratio);
+        dls_obs::emit(&format!("smoke:{label}"));
+    }
 }
 
 #[cfg(test)]

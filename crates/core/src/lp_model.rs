@@ -35,7 +35,6 @@
 
 use std::cell::{Cell, RefCell};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use dls_lp::{BasisCache, LpError, Problem, Scalar, ScheduleModel, SolverOptions, VarId};
@@ -62,10 +61,15 @@ thread_local! {
     static BASIS_CACHE: RefCell<BasisCache> = RefCell::new(BasisCache::new());
 }
 
-/// Warm-start accounting across all threads (monotonic process-wide
-/// counters; see [`warm_start_stats`]).
-static WARM_HITS: AtomicUsize = AtomicUsize::new(0);
-static LP_SOLVES: AtomicUsize = AtomicUsize::new(0);
+/// Warm-start accounting lives in the `dls-obs` registry (counters
+/// `basis_cache.hit` / `basis_cache.miss`, summed over every thread);
+/// [`warm_start_stats`] is a thin shim over these handles.
+fn hit_counter() -> dls_obs::Counter {
+    dls_obs::counter!("basis_cache.hit")
+}
+fn miss_counter() -> dls_obs::Counter {
+    dls_obs::counter!("basis_cache.miss")
+}
 
 /// The engine the current thread uses for scenario LPs.
 pub fn current_engine() -> LpEngine {
@@ -91,16 +95,15 @@ pub fn with_engine<R>(engine: LpEngine, f: impl FnOnce() -> R) -> R {
 /// `(warm-start hits, total scenario-LP solves)` since process start (or
 /// the last [`reset_warm_start_stats`]), summed over every thread.
 pub fn warm_start_stats() -> (usize, usize) {
-    (
-        WARM_HITS.load(Ordering::Relaxed),
-        LP_SOLVES.load(Ordering::Relaxed),
-    )
+    let hits = hit_counter().value() as usize;
+    let misses = miss_counter().value() as usize;
+    (hits, hits + misses)
 }
 
 /// Zeroes the [`warm_start_stats`] counters.
 pub fn reset_warm_start_stats() {
-    WARM_HITS.store(0, Ordering::Relaxed);
-    LP_SOLVES.store(0, Ordering::Relaxed);
+    hit_counter().reset();
+    miss_counter().reset();
 }
 
 /// `true` when the pre-solve static analyzer ([`dls_lp::analyze`]) runs on
@@ -131,6 +134,7 @@ pub fn analyze_gate(model: &ScheduleModel) -> Result<(), CoreError> {
     if !analysis_enabled() {
         return Ok(());
     }
+    let _span = dls_obs::span!("core.analyze_gate.seconds");
     let report = dls_lp::analyze(model);
     if report.has_errors() {
         return Err(CoreError::InvalidModel(report.to_string()));
@@ -387,6 +391,7 @@ pub fn solve_model(model: &ScheduleModel, key: Option<u64>) -> Result<ModelSolut
 /// Shared engine router for a lowered problem under a caller-chosen cache
 /// key.
 fn solve_lowered(lp: &Problem, key: u64) -> Result<ModelSolution, CoreError> {
+    let solve_time = dls_obs::timer();
     let opts = SolverOptions::for_size(lp.num_vars(), lp.num_constraints());
     let (sol, warm_start) = match current_engine() {
         LpEngine::Tableau => (dls_lp::solve_with::<f64>(lp, &opts)?, false),
@@ -398,15 +403,21 @@ fn solve_lowered(lp: &Problem, key: u64) -> Result<ModelSolution, CoreError> {
                 // (iteration limit, singular refactorization) get one shot
                 // on the tableau before surfacing.
                 Err(LpError::IterationLimit { .. }) | Err(LpError::SingularBasis) => {
+                    dls_obs::counter!("lp_model.tableau_retry").incr();
                     (dls_lp::solve_with::<f64>(lp, &opts)?, false)
                 }
                 Err(e) => return Err(e.into()),
             }
         }
     };
-    LP_SOLVES.fetch_add(1, Ordering::Relaxed);
     if warm_start {
-        WARM_HITS.fetch_add(1, Ordering::Relaxed);
+        hit_counter().incr();
+    } else {
+        miss_counter().incr();
+    }
+    if let Some(seconds) = solve_time.stop() {
+        dls_obs::histogram!("lp_model.solve.seconds").record(seconds);
+        record_keyed_latency(key, seconds);
     }
     Ok(ModelSolution {
         values: sol.x,
@@ -414,6 +425,33 @@ fn solve_lowered(lp: &Problem, key: u64) -> Result<ModelSolution, CoreError> {
         iterations: sol.iterations,
         warm_start,
     })
+}
+
+/// Records a solve latency into a per-cache-key histogram
+/// (`lp_model.solve.key_<hex>.seconds`). Only the first `MAX_TRACKED_KEYS`
+/// distinct keys get their own histogram — serve-style workloads revisit a
+/// handful of families, which is where per-key latency matters — while
+/// paper-scale sweeps (thousands of one-shot platforms) fold the rest into
+/// `lp_model.solve.key_other.seconds`. Called only when timing is enabled,
+/// so the tracking set stays off the `DLS_TRACE`-unset hot path.
+fn record_keyed_latency(key: u64, seconds: f64) {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    const MAX_TRACKED_KEYS: usize = 32;
+    static TRACKED: OnceLock<Mutex<HashSet<u64>>> = OnceLock::new();
+    let mut tracked = TRACKED
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("keyed-latency tracking set");
+    let own_slot =
+        tracked.contains(&key) || tracked.len() < MAX_TRACKED_KEYS && tracked.insert(key);
+    drop(tracked);
+    let hist = if own_slot {
+        dls_obs::histogram(&format!("lp_model.solve.key_{key:016x}.seconds"))
+    } else {
+        dls_obs::histogram("lp_model.solve.key_other.seconds")
+    };
+    hist.record(seconds);
 }
 
 /// Solves the scenario LP and packages the optimal schedule.

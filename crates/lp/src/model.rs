@@ -383,6 +383,7 @@ impl ScheduleModel {
     /// the offending row's label instead of index-panicking deep inside the
     /// solver's standardization.
     pub fn lower(&self) -> Problem {
+        let _span = dls_obs::span!("ir.lower.seconds");
         #[cfg(debug_assertions)]
         for row in &self.rows {
             if let Some(&(i, _)) = row.terms.iter().find(|&&(i, _)| i >= self.names.len()) {

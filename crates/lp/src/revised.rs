@@ -152,8 +152,10 @@ impl BasisCache {
         let res = match solve_revised_with::<S>(problem, opts, warm) {
             Ok(res) => res,
             Err(e) => {
-                if matches!(e, LpError::IterationLimit { .. } | LpError::SingularBasis) {
-                    self.entries.remove(&key);
+                if matches!(e, LpError::IterationLimit { .. } | LpError::SingularBasis)
+                    && self.entries.remove(&key).is_some()
+                {
+                    dls_obs::counter!("basis_cache.evict").incr();
                 }
                 return Err(e);
             }
@@ -239,6 +241,8 @@ impl<S: Scalar> Factor<S> {
     /// factorizes, while a dependent column — whose post-elimination
     /// residual is noise relative to its original entries — is rejected.
     fn refactorize(cols: &Columns<S>, basis: &[usize]) -> Option<Factor<S>> {
+        dls_obs::counter!("revised.refactorizations").incr();
+        let _span = dls_obs::span!("revised.refactorize.seconds");
         let m = cols.m;
         // Augmented [B | I], eliminated in place.
         let mut b = vec![S::zero(); m * m];
@@ -405,6 +409,7 @@ enum PhaseOutcome {
 
 impl<S: Scalar> State<S> {
     fn refactorize(&mut self) -> Result<(), LpError> {
+        dls_obs::histogram!("revised.eta_len").record(self.factor.etas.len() as f64);
         let f = Factor::refactorize(&self.cols, &self.basis).ok_or(LpError::SingularBasis)?;
         self.factor = f;
         self.xb = self.factor.ftran(&self.cols.b);
@@ -454,6 +459,7 @@ impl<S: Scalar> State<S> {
             let use_bland = self.iterations - start >= opts.bland_after;
 
             // Price: y = c_B^T B^-1, then d_j = c_j - y . a_j.
+            let pricing = dls_obs::timer();
             let cb: Vec<S> = self.basis.iter().map(|&c| costs[c].clone()).collect();
             let y = self.factor.btran(&cb);
             let entering: Option<(usize, S)> = {
@@ -514,6 +520,7 @@ impl<S: Scalar> State<S> {
                     // …and rebuild from a wrapping full scan when dry. A
                     // dry *full* scan is the (exact) optimality proof.
                     if best.is_none() {
+                        dls_obs::counter!("revised.candidate_rebuilds").incr();
                         candidates.clear();
                         let cols = self.layout.cols;
                         for off in 0..cols {
@@ -537,6 +544,9 @@ impl<S: Scalar> State<S> {
                     best
                 }
             };
+            if let Some(el) = pricing.stop() {
+                dls_obs::histogram!("revised.pricing.seconds").record(el);
+            }
             let Some((pc, _)) = entering else {
                 return Ok(PhaseOutcome::Optimal);
             };
@@ -650,6 +660,8 @@ pub fn solve_revised_with<S: Scalar>(
     opts: &SolverOptions,
     warm: Option<&Basis>,
 ) -> Result<RevisedSolution<S>, LpError> {
+    dls_obs::counter!("revised.solve").incr();
+    let _span = dls_obs::span!("revised.solve.seconds");
     problem.validate()?;
     let n = problem.num_vars();
     let std_form = standardize::<S>(problem);
@@ -827,6 +839,7 @@ pub fn solve_revised_with<S: Scalar>(
         duals.push(d);
     }
 
+    dls_obs::histogram!("revised.iterations").record(state.iterations as f64);
     Ok(RevisedSolution {
         solution: Solution {
             objective: obj,

@@ -359,6 +359,8 @@ pub fn solve_with<S: Scalar>(
     problem: &Problem,
     opts: &SolverOptions,
 ) -> Result<Solution<S>, LpError> {
+    dls_obs::counter!("tableau.solve").incr();
+    let _span = dls_obs::span!("tableau.solve.seconds");
     problem.validate()?;
     let n = problem.num_vars();
     let std_form = standardize::<S>(problem);
@@ -488,6 +490,7 @@ pub fn solve_with<S: Scalar>(
         duals.push(y);
     }
 
+    dls_obs::histogram!("tableau.iterations").record(iterations as f64);
     Ok(Solution {
         objective: obj,
         x,
@@ -568,7 +571,11 @@ fn run_phase<S: Scalar>(
             return Err(LpError::Unbounded);
         };
 
+        let pivot_time = dls_obs::timer();
         t.pivot(pr, pc);
+        if let Some(el) = pivot_time.stop() {
+            dls_obs::histogram!("tableau.pivot.seconds").record(el);
+        }
         *iterations += 1;
     }
 }

@@ -1,0 +1,62 @@
+//! # dls-obs — workspace-wide metrics and tracing
+//!
+//! A process-global, thread-sharded metrics registry for the RR-5738
+//! reproduction: named [counters](counter), [gauges](gauge) and fixed-bucket
+//! [histograms](histogram) with p50/p90/p99 readout, plus a lightweight
+//! [span](span()) API (RAII timers feeding histograms) and two pluggable
+//! sinks — a human-readable summary table and a JSON-lines snapshot writer —
+//! selected by the `DLS_TRACE` environment variable:
+//!
+//! | `DLS_TRACE` | effect |
+//! |---|---|
+//! | unset / `0` / `off` | tracing disabled: spans skip the clock entirely |
+//! | `summary` | [`emit`] prints an aligned metrics table to stderr |
+//! | `jsonl` | [`emit`] writes one JSON object per metric to stderr |
+//! | `jsonl:PATH` | same, appended to `PATH` instead of stderr |
+//!
+//! ## Cost model
+//!
+//! Counter / gauge / histogram *value* recording is always on: the hot path
+//! is one thread-local lookup plus a relaxed atomic add into a per-thread
+//! shard (no locks, no allocation after first touch), which is how
+//! `lp_model::warm_start_stats` keeps working with tracing disabled.
+//! *Timing* (spans and [`Timer`]) is gated on [`timing_enabled`]: with
+//! `DLS_TRACE` unset a span never calls `Instant::now`, so instrumented hot
+//! loops pay a single relaxed atomic load. Sinks only run when a mode is
+//! selected.
+//!
+//! ## Shape
+//!
+//! Metric names are interned once (capacity-bounded; see
+//! [`Snapshot::dropped`]) and call sites cache the handle in a static via
+//! the [`counter!`]/[`gauge!`]/[`histogram!`]/[`span!`] macros. Each thread
+//! writes to its own shard; [`snapshot`] merges all shards. Handles are
+//! `Copy` and remain valid for the life of the process.
+//!
+//! ```
+//! let solves = dls_obs::counter!("doc.solves");
+//! solves.incr();
+//! {
+//!     let _timer = dls_obs::span!("doc.solve.seconds"); // records on drop
+//! }
+//! let snap = dls_obs::snapshot();
+//! assert_eq!(snap.counter("doc.solves"), Some(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod hist;
+mod macros;
+mod registry;
+mod sink;
+mod span;
+
+pub use config::{mode, set_mode, timing_enabled, Mode};
+pub use hist::HistogramSummary;
+pub use registry::{
+    counter, gauge, histogram, reset_all, snapshot, Counter, Gauge, Histogram, Snapshot,
+};
+pub use sink::{emit, render_jsonl, render_summary};
+pub use span::{span, timer, Span, Timer};

@@ -1,0 +1,47 @@
+//! Handle-caching macros. Each expansion interns the metric name once per
+//! call site (in a function-local static) so the steady-state hot path is a
+//! static load plus one sharded atomic op.
+
+/// A [`crate::Counter`] handle for a literal name, interned once per call
+/// site.
+///
+/// ```
+/// dls_obs::counter!("doc.macro.events").add(2);
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Counter> = ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// A [`crate::Gauge`] handle for a literal name, interned once per call
+/// site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Gauge> = ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::gauge($name))
+    }};
+}
+
+/// A [`crate::Histogram`] handle for a literal name, interned once per call
+/// site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Histogram> = ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::histogram($name))
+    }};
+}
+
+/// Starts a [`crate::Span`] feeding the histogram named by a literal,
+/// interned once per call site. Bind it (`let _span = ...`) so it drops at
+/// scope exit.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::start($crate::histogram!($name))
+    };
+}

@@ -1,0 +1,180 @@
+//! Snapshot sinks: the human-readable summary table and the JSON-lines
+//! writer. Both render a merged [`Snapshot`]; [`emit`] picks one (or
+//! neither) from the active [`Mode`].
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::config::Mode;
+use crate::registry::Snapshot;
+
+/// Monotone sequence number shared by all emits in this process, so JSONL
+/// consumers can group lines belonging to one snapshot.
+static EMIT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Takes a snapshot and writes it to the sink selected by
+/// [`crate::mode`]; a no-op when tracing is disabled. `label` names the
+/// emitting phase (e.g. `"repro_all"` or `"smoke:solver"`).
+pub fn emit(label: &str) {
+    match crate::mode() {
+        Mode::Disabled => {}
+        Mode::Summary => {
+            let text = render_summary(&crate::snapshot(), label);
+            eprint!("{text}");
+        }
+        Mode::Jsonl(path) => {
+            let seq = EMIT_SEQ.fetch_add(1, Ordering::Relaxed);
+            let text = render_jsonl(&crate::snapshot(), label, seq);
+            match path {
+                Some(path) => {
+                    let written = std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(&path)
+                        .and_then(|mut f| f.write_all(text.as_bytes()));
+                    if let Err(err) = written {
+                        eprintln!("dls-obs: cannot write {}: {err}", path.display());
+                    }
+                }
+                None => eprint!("{text}"),
+            }
+        }
+    }
+}
+
+/// Renders the aligned summary table (one block per metric kind).
+pub fn render_summary(snap: &Snapshot, label: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== dls-obs summary [{label}] ==\n"));
+    if !snap.counters.is_empty() {
+        out.push_str("counters\n");
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("  {name:<44} {v:>12}\n"));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges\n");
+        for (name, v) in &snap.gauges {
+            out.push_str(&format!("  {name:<44} {:>12}\n", fmt_num(*v)));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str(&format!(
+            "histograms{:<36}{:>9}{:>11}{:>11}{:>11}{:>11}{:>11}\n",
+            "", "count", "mean", "p50", "p90", "p99", "max"
+        ));
+        for (name, h) in &snap.histograms {
+            out.push_str(&format!(
+                "  {name:<44}{:>9}{:>11}{:>11}{:>11}{:>11}{:>11}\n",
+                h.count,
+                fmt_num(h.mean()),
+                fmt_num(h.p50),
+                fmt_num(h.p90),
+                fmt_num(h.p99),
+                fmt_num(h.max),
+            ));
+        }
+    }
+    if snap.dropped > 0 {
+        out.push_str(&format!(
+            "({} metric registrations dropped: name-table capacity reached)\n",
+            snap.dropped
+        ));
+    }
+    out
+}
+
+/// Renders the snapshot as JSON lines (see the README "Observability"
+/// section for the schema). `seq` groups the lines of one emit.
+pub fn render_jsonl(snap: &Snapshot, label: &str, seq: u64) -> String {
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0);
+    let label = json_str(label);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"type\":\"snapshot\",\"seq\":{seq},\"label\":{label},\"unix_time\":{},\"dropped\":{}}}\n",
+        json_num(ts),
+        snap.dropped
+    ));
+    for (name, v) in &snap.counters {
+        out.push_str(&format!(
+            "{{\"type\":\"counter\",\"seq\":{seq},\"label\":{label},\"name\":{},\"value\":{v}}}\n",
+            json_str(name)
+        ));
+    }
+    for (name, v) in &snap.gauges {
+        out.push_str(&format!(
+            "{{\"type\":\"gauge\",\"seq\":{seq},\"label\":{label},\"name\":{},\"value\":{}}}\n",
+            json_str(name),
+            json_num(*v)
+        ));
+    }
+    for (name, h) in &snap.histograms {
+        out.push_str(&format!(
+            "{{\"type\":\"histogram\",\"seq\":{seq},\"label\":{label},\"name\":{},\"count\":{},\
+             \"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}\n",
+            json_str(name),
+            h.count,
+            json_num(h.sum),
+            json_num(h.min),
+            json_num(h.max),
+            json_num(h.p50),
+            json_num(h.p90),
+            json_num(h.p99),
+        ));
+    }
+    out
+}
+
+/// Compact human formatting: plain decimals in a readable range,
+/// scientific elsewhere.
+fn fmt_num(v: f64) -> String {
+    let a = v.abs();
+    if a < 1e-300 {
+        "0".to_string()
+    } else if (1e-3..1e6).contains(&a) {
+        let s = format!("{v:.4}");
+        // Trim trailing zeros but keep at least one decimal digit.
+        let trimmed = s.trim_end_matches('0');
+        let trimmed = if trimmed.ends_with('.') {
+            &s[..trimmed.len() + 1]
+        } else {
+            trimmed
+        };
+        trimmed.to_string()
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+/// JSON string literal (quotes + minimal escaping; metric names are ASCII
+/// identifiers but labels are caller-supplied).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number (finite `f64`; Rust's `Display` never emits `inf`/`NaN`
+/// here because the registry refuses non-finite observations).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}

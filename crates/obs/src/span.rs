@@ -1,0 +1,59 @@
+//! RAII span timers and the lower-level [`Timer`] building block.
+
+use std::time::Instant;
+
+use crate::registry::Histogram;
+
+/// An in-flight timed section; records its elapsed seconds into a histogram
+/// when dropped. When tracing is disabled ([`crate::timing_enabled`] is
+/// false) the clock is never read and drop is a no-op.
+#[derive(Debug)]
+pub struct Span {
+    hist: Histogram,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Starts a span feeding `hist`.
+    pub fn start(hist: Histogram) -> Span {
+        Span {
+            hist,
+            start: crate::timing_enabled().then(Instant::now),
+        }
+    }
+
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.hist.record(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Starts a span recording into the histogram `name` on drop. Call sites
+/// with a literal name should prefer the [`crate::span!`] macro, which
+/// caches the name lookup in a static.
+pub fn span(name: &str) -> Span {
+    Span::start(crate::histogram(name))
+}
+
+/// A bare stopwatch gated on [`crate::timing_enabled`], for call sites that
+/// need the elapsed value itself (e.g. to feed several histograms).
+#[derive(Debug)]
+pub struct Timer(Option<Instant>);
+
+/// Starts a [`Timer`] (inert when tracing is disabled).
+pub fn timer() -> Timer {
+    Timer(crate::timing_enabled().then(Instant::now))
+}
+
+impl Timer {
+    /// Elapsed seconds, or `None` when tracing was disabled at start.
+    pub fn stop(self) -> Option<f64> {
+        self.0.map(|t| t.elapsed().as_secs_f64())
+    }
+}

@@ -30,8 +30,11 @@ where
 {
     let n = items.len();
     let threads = available_threads().min(n.max(1));
+    dls_obs::histogram!("par_map.batch_items").record(n as f64);
+    dls_obs::gauge!("par_map.threads").set(threads as f64);
     let run = |i: usize| -> Result<U, String> {
-        catch_unwind(AssertUnwindSafe(|| f(&items[i]))).map_err(|payload| {
+        let item_time = dls_obs::timer();
+        let out = catch_unwind(AssertUnwindSafe(|| f(&items[i]))).map_err(|payload| {
             if let Some(s) = payload.downcast_ref::<&str>() {
                 (*s).to_string()
             } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -39,7 +42,11 @@ where
             } else {
                 "non-string panic payload".to_string()
             }
-        })
+        });
+        if let Some(el) = item_time.stop() {
+            dls_obs::histogram!("par_map.item.seconds").record(el);
+        }
+        out
     };
 
     let mut results: Vec<Option<Result<U, String>>> = Vec::with_capacity(n);
@@ -65,6 +72,9 @@ where
                         }
                         local.push((i, run(i)));
                     }
+                    // Items this worker claimed off the cursor: the spread
+                    // across workers is the occupancy/balance signal.
+                    dls_obs::histogram!("par_map.worker_items").record(local.len() as f64);
                     let mut guard = slots.lock().expect("no poisoned threads");
                     for (i, v) in local {
                         guard[i] = Some(v);

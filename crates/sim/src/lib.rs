@@ -41,7 +41,7 @@ pub mod gantt;
 mod noise;
 mod queue;
 mod time;
-mod trace;
+pub mod trace;
 mod tree;
 
 pub use executor::{simulate, simulate_reps, MasterPolicy, SimConfig, SimReport};

@@ -17,6 +17,11 @@
 //!   `benches/*_baseline.json` must be referenced by its sibling smoke
 //!   gate (`benches/<name>.rs`), so a renamed gate cannot silently stop
 //!   comparing against its checked-in baseline.
+//! * **`obs-metric-names`** — every metric-name literal passed to the
+//!   `dls-obs` recording macros (`counter!`, `gauge!`, `histogram!`,
+//!   `span!`) must be listed, backticked, in the README's observability
+//!   inventory, so the documented name table cannot silently go stale
+//!   when instrumentation is added or renamed.
 //!
 //! The scanner is textual, not syntactic: it strips `//` comments and
 //! string literals, and stops at a file's trailing `#[cfg(test)]` module
@@ -37,7 +42,7 @@ pub struct Violation {
     /// 1-based line number.
     pub line: usize,
     /// Stable rule identifier (`ir-lowering`, `lp-core-discipline`,
-    /// `baseline-keys`).
+    /// `baseline-keys`, `obs-metric-names`).
     pub rule: &'static str,
     /// What went wrong and what to do instead.
     pub message: String,
@@ -389,6 +394,70 @@ pub fn check_baseline_keys(
     out
 }
 
+/// The `dls-obs` recording macros whose first argument names a metric.
+const OBS_MACROS: &[&str] = &["counter!(", "gauge!(", "histogram!(", "span!("];
+
+/// Rule `obs-metric-names`: every metric-name literal handed to a
+/// `dls-obs` macro must appear backticked in the README (the
+/// observability inventory), mirroring how `baseline-keys` pins the smoke
+/// baselines. Dynamically-built names (`dls_obs::histogram(&format!(..))`)
+/// are out of scope — the README documents those as patterns.
+pub fn check_obs_metric_names(path: &Path, content: &str, readme: &str) -> Vec<Violation> {
+    const RULE: &str = "obs-metric-names";
+    let mut out = Vec::new();
+    let raw_lines: Vec<&str> = content.lines().collect();
+    for line in code_lines(content) {
+        if waived(&line, RULE) {
+            continue;
+        }
+        let raw = raw_lines.get(line.number - 1).copied().unwrap_or_default();
+        for mac in OBS_MACROS {
+            // Gate on the comment/string-blanked code: the macro must be
+            // invoked with a string literal on this line. A definition-side
+            // `histogram!($name)` or a name quoted in a comment never fires.
+            let mut literal_call = false;
+            let mut from = 0;
+            while let Some(pos) = line.code[from..].find(mac) {
+                from += pos + mac.len();
+                if line.code[from..].trim_start().starts_with('"') {
+                    literal_call = true;
+                    break;
+                }
+            }
+            if !literal_call {
+                continue;
+            }
+            // The blanked code hides the literal's contents; recover the
+            // names from the raw line (metric names contain no escapes).
+            let mut from = 0;
+            while let Some(pos) = raw[from..].find(mac) {
+                from += pos + mac.len();
+                let rest = raw[from..].trim_start();
+                let Some(stripped) = rest.strip_prefix('"') else {
+                    continue;
+                };
+                let Some(end) = stripped.find('"') else {
+                    continue;
+                };
+                let name = &stripped[..end];
+                if !readme.contains(&format!("`{name}`")) {
+                    out.push(Violation {
+                        file: path.to_path_buf(),
+                        line: line.number,
+                        rule: RULE,
+                        message: format!(
+                            "metric name \"{name}\" is missing from the README \
+                             observability inventory — add `{name}` to the metric \
+                             table in README.md (or rename the metric)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Files rule `ir-lowering` must never flag: the IR and raw-builder home.
 fn ir_exempt(rel: &Path) -> bool {
     rel == Path::new("crates/lp/src/model.rs") || rel == Path::new("crates/lp/src/problem.rs")
@@ -435,6 +504,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
         }
     }
     files.sort();
+    let readme = fs::read_to_string(root.join("README.md")).unwrap_or_default();
     for path in &files {
         let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
         let content = fs::read_to_string(path)?;
@@ -447,6 +517,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
         if lp_core_scoped(&rel) {
             violations.extend(check_lp_core_discipline(&rel, &content));
         }
+        violations.extend(check_obs_metric_names(&rel, &content, &readme));
     }
 
     // Rule 3 over crates/bench/benches/*_baseline.json.
@@ -576,6 +647,39 @@ fn f(n: usize) {
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].message.contains("ghost_ns"));
         assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn obs_metric_names_flags_undocumented_literals_only() {
+        let src = "\
+fn f() {
+    dls_obs::counter!(\"documented.count\").incr();
+    dls_obs::histogram!(\"ghost.seconds\").record(1.5);
+    // a comment quoting counter!(\"commented.out\") never fires
+    dls_obs::span!(\"waived.seconds\"); // xtask: allow(obs-metric-names)
+    dls_obs::histogram(&name); // dynamic name: out of scope
+}
+
+#[cfg(test)]
+mod tests {
+    fn g() {
+        dls_obs::counter!(\"test.only\").incr();
+    }
+}
+";
+        let readme = "| `documented.count` | solves |\n";
+        let v = check_obs_metric_names(Path::new("crates/foo/src/lib.rs"), src, readme);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "obs-metric-names");
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].message.contains("ghost.seconds"));
+    }
+
+    #[test]
+    fn obs_metric_names_skips_macro_definitions() {
+        // The macro definition forwards `$name` — no literal, no firing.
+        let src = "macro_rules! span {\n    ($name:expr) => { $crate::Span::start($crate::histogram!($name)) };\n}\n";
+        assert!(check_obs_metric_names(Path::new("crates/obs/src/macros.rs"), src, "").is_empty());
     }
 
     #[test]

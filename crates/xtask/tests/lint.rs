@@ -114,6 +114,27 @@ fn flags_baseline_keys_the_gate_never_references() {
 }
 
 #[test]
+fn flags_metric_names_missing_from_the_readme_inventory() {
+    let fx = Fixture::new("obs");
+    fx.write(
+        "README.md",
+        "## Observability\n\n| `lp.solve.count` | scenario LPs solved |\n",
+    );
+    fx.write(
+        "crates/foo/src/lib.rs",
+        "fn f() {\n    dls_obs::counter!(\"lp.solve.count\").incr();\n    \
+         dls_obs::span!(\"undocumented.seconds\");\n}\n",
+    );
+
+    let v = lint_workspace(&fx.root).unwrap();
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "obs-metric-names");
+    assert_eq!(v[0].file, Path::new("crates/foo/src/lib.rs"));
+    assert_eq!(v[0].line, 3);
+    assert!(v[0].message.contains("undocumented.seconds"));
+}
+
+#[test]
 fn clean_fixture_produces_no_violations() {
     let fx = Fixture::new("clean");
     fx.write(

@@ -20,7 +20,9 @@
 //!   (`core::interleaved::install` likewise adds `interleaved_fifo`);
 //! * [`sim`] — the discrete-event star-network simulator (MPI-testbed
 //!   substitute);
-//! * [`report`] — tables, statistics, series files, parallel map.
+//! * [`report`] — tables, statistics, series files, parallel map;
+//! * [`obs`] — the process-global metrics registry + span timers behind
+//!   `DLS_TRACE` (see the README "Observability" section).
 //!
 //! ```
 //! use dls::prelude::*;
@@ -42,6 +44,7 @@
 
 pub use dls_core as core;
 pub use dls_lp as lp;
+pub use dls_obs as obs;
 pub use dls_platform as platform;
 pub use dls_report as report;
 pub use dls_rounds as rounds;

@@ -1,0 +1,76 @@
+//! Workspace-level observability contract: one `solve_scenario` call on
+//! each LP engine must populate the metric names the README inventory
+//! promises, so dashboards and the `DLS_TRACE=summary` table never go
+//! silently stale when the solver internals move.
+
+use dls::core::lp_model::{solve_scenario, with_engine, LpEngine};
+use dls::core::prelude::*;
+use dls::obs::{set_mode, Mode};
+use dls::platform::{Platform, WorkerId};
+
+fn fixture() -> Platform {
+    Platform::star_with_z(&[(3.0, 0.5), (1.0, 5.0), (2.0, 1.0), (1.5, 2.0)], 0.5).unwrap()
+}
+
+fn ids(xs: &[usize]) -> Vec<WorkerId> {
+    xs.iter().copied().map(WorkerId).collect()
+}
+
+#[test]
+fn solve_scenario_populates_the_advertised_metrics_on_both_engines() {
+    // Timing spans only record while a mode is active; force one
+    // programmatically so the test is independent of `DLS_TRACE`.
+    set_mode(Some(Mode::Summary));
+    dls::obs::reset_all();
+
+    let p = fixture();
+    let order = ids(&[0, 1, 2, 3]);
+
+    let revised = solve_scenario(&p, &order, &order, PortModel::OnePort).unwrap();
+    let tableau = with_engine(LpEngine::Tableau, || {
+        solve_scenario(&p, &order, &order, PortModel::OnePort).unwrap()
+    });
+    assert!((revised.throughput - tableau.throughput).abs() < 1e-9);
+
+    let snap = dls::obs::snapshot();
+    set_mode(Some(Mode::Disabled));
+
+    // Counters: every solve classifies as a basis-cache hit or miss, each
+    // engine counts its entry point, and the revised path refactorizes at
+    // least once (the initial slack-basis factorization).
+    let hits = snap.counter("basis_cache.hit").unwrap_or(0);
+    let misses = snap.counter("basis_cache.miss").unwrap_or(0);
+    assert!(hits + misses >= 2, "hit {hits} + miss {misses}");
+    assert!(misses >= 1, "first solve per engine cannot warm-start");
+    assert!(snap.counter("revised.solve").unwrap_or(0) >= 1);
+    assert!(snap.counter("tableau.solve").unwrap_or(0) >= 1);
+    assert!(snap.counter("revised.refactorizations").unwrap_or(0) >= 1);
+
+    // Histograms: iteration counts from both engines, phase timings from
+    // the shared pipeline. Names must match the README inventory verbatim.
+    for name in [
+        "revised.iterations",
+        "tableau.iterations",
+        "revised.solve.seconds",
+        "tableau.solve.seconds",
+        "lp_model.solve.seconds",
+        "ir.lower.seconds",
+    ] {
+        let h = snap
+            .histogram(name)
+            .unwrap_or_else(|| panic!("histogram '{name}' not populated"));
+        assert!(h.count >= 1, "'{name}' empty");
+        assert!(h.min >= 0.0, "'{name}' negative observation");
+    }
+    let iters = snap.histogram("revised.iterations").unwrap();
+    assert!(iters.max >= 1.0, "a 4-worker scenario LP takes iterations");
+
+    // The per-key latency histogram family tracks this scenario's cache
+    // key (well under the 32-key cap here).
+    assert!(
+        snap.histograms
+            .iter()
+            .any(|(name, _)| name.starts_with("lp_model.solve.key_")),
+        "no per-key latency histogram recorded"
+    );
+}
