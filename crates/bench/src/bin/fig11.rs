@@ -1,5 +1,7 @@
 //! Regenerates Figure 11 (homogeneous communication, heterogeneous
-//! computation). Usage: `fig11 [--quick]`.
+//! computation). Usage: `fig11 [--quick] [--explain]` — `--explain`
+//! prints the baseline schedule on one sampled platform as a Gantt with
+//! idle-cause attribution instead of running the sweep.
 
 use dls_bench::figures::fig10_13;
 use dls_bench::SweepConfig;
@@ -11,6 +13,10 @@ fn main() {
     } else {
         SweepConfig::paper()
     };
+    if std::env::args().any(|a| a == "--explain") {
+        println!("{}", fig10_13::explain(&fig10_13::fig11_variant(), &cfg));
+        return;
+    }
     let res = fig10_13::run(&fig10_13::fig11_variant(), &cfg);
     println!("{}\n", res.label);
     println!("{}", res.table().render());

@@ -1,6 +1,8 @@
 //! Regenerates Figure 13 (communication/computation ratio studies).
-//! Usage: `fig13 [a|b] [--quick]` — `a` = computation ×10, `b` =
-//! communication ×10; both when omitted.
+//! Usage: `fig13 [a|b] [--quick] [--explain]` — `a` = computation ×10,
+//! `b` = communication ×10; both when omitted. `--explain` prints the
+//! baseline schedule on one sampled platform as a Gantt with idle-cause
+//! attribution instead of running the sweep.
 
 use dls_bench::figures::fig10_13;
 use dls_bench::SweepConfig;
@@ -23,6 +25,10 @@ fn main() {
         } else {
             fig10_13::fig13b_variant()
         };
+        if args.iter().any(|a| a == "--explain") {
+            println!("{}", fig10_13::explain(&variant, &cfg));
+            continue;
+        }
         let res = fig10_13::run(&variant, &cfg);
         println!("{}\n", res.label);
         println!("{}", res.table().render());

@@ -38,14 +38,21 @@ fn main() {
     );
     let t0 = Instant::now();
 
-    // --- Figure 8.
-    let f8 = fig08::run(0xF1608);
+    // --- Figure 8. Each figure section opens a root trace span, so one
+    // logical request (= one pid in a chrome: export) per figure.
+    let f8 = {
+        let _fig = dls_obs::trace_span!("repro.figure.seconds", "figure" => "fig08");
+        fig08::run(0xF1608)
+    };
     println!("{}", f8.report());
     f8.write_dat(&out.join("fig08_linearity.dat")).expect("dat");
     write_text(&out.join("fig08_linearity.txt"), &f8.report()).expect("txt");
 
     // --- Figure 9.
-    let f9 = fig09::run(200, if quick { 200 } else { 1000 }, 0xF1609);
+    let f9 = {
+        let _fig = dls_obs::trace_span!("repro.figure.seconds", "figure" => "fig09");
+        fig09::run(200, if quick { 200 } else { 1000 }, 0xF1609)
+    };
     println!("{}", f9.report());
     write_text(&out.join("fig09_trace.txt"), &f9.report()).expect("txt");
     write_text(&out.join("fig09_trace.csv"), &f9.trace_csv).expect("csv");
@@ -60,6 +67,7 @@ fn main() {
         ("fig13b", fig10_13::fig13b_variant()),
     ] {
         let (stem, v) = variant;
+        let _fig = dls_obs::trace_span!("repro.figure.seconds", "figure" => stem);
         let started = Instant::now();
         let res = fig10_13::run(&v, &cfg);
         println!("{}\n", res.label);
@@ -96,6 +104,7 @@ fn main() {
     // concrete paper-scale platform.
     dls_rounds::install();
     {
+        let _fig = dls_obs::trace_span!("repro.figure.seconds", "figure" => "multiround_rsweep");
         let started = Instant::now();
         let r_res = run_r_sweep(&cfg, &r_sweep_variant());
         println!(
@@ -165,6 +174,7 @@ fn main() {
     // paper-scale size, plus the trade-off table on one concrete platform.
     dls_tree::install();
     {
+        let _fig = dls_obs::trace_span!("repro.figure.seconds", "figure" => "tree_depth_sweep");
         let started = Instant::now();
         let d_res = run_depth_sweep(&cfg, &depth_sweep_variant());
         println!(
@@ -233,6 +243,7 @@ fn main() {
     // canonical shape vs simulator replay under both master policies.
     dls_core::interleaved::install();
     {
+        let _fig = dls_obs::trace_span!("repro.figure.seconds", "figure" => "interleaved_gap");
         let started = Instant::now();
         let g_res = run_interleaved_gap(&cfg);
         println!(
@@ -255,6 +266,7 @@ fn main() {
     // --- Figure 14 (both subfigures plus the header/text discrepancy run).
     let mut f14_all = String::new();
     for x in [1.0, 2.0, 3.0] {
+        let _fig = dls_obs::trace_span!("repro.figure.seconds", "figure" => "fig14");
         let fig = fig14::run(x, 400, if quick { 200 } else { 1000 }, 0xF1614);
         println!("{}\n", fig.report());
         f14_all.push_str(&fig.report());

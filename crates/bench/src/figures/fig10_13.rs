@@ -16,7 +16,7 @@
 
 use dls_platform::PlatformSampler;
 
-use crate::figures::sweep::{run_sweep, SweepResult, SweepVariant};
+use crate::figures::sweep::{explain_baseline, run_sweep, SweepResult, SweepVariant};
 use crate::scenarios::{Heuristic, SweepConfig};
 
 fn ids(heuristics: &[Heuristic]) -> Vec<String> {
@@ -87,6 +87,14 @@ pub fn run(variant: &SweepVariant, cfg: &SweepConfig) -> SweepResult {
     run_sweep(cfg, variant)
 }
 
+/// Renders the `--explain` report for one of the sweep figures: the
+/// baseline schedule on one sampled platform as a Gantt with every idle
+/// interval attributed to a cause and per-worker utilization/port shares.
+pub fn explain(variant: &SweepVariant, cfg: &SweepConfig) -> String {
+    let (header, report) = explain_baseline(cfg, variant);
+    format!("{header}\n\n{}", report.render())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +125,26 @@ mod tests {
             let res = run(&v, &tiny());
             assert_eq!(res.rows[0].ratios.len(), 5, "{}", v.label);
         }
+    }
+
+    #[test]
+    fn explain_attribution_covers_all_idle_time() {
+        let (header, rep) = explain_baseline(&tiny(), &fig12_variant());
+        assert!(header.contains("explain"));
+        assert!(!rep.workers.is_empty());
+        for w in &rep.workers {
+            let expect = rep.makespan - w.busy;
+            assert!(
+                (w.idle_total() - expect).abs() < 1e-9,
+                "{}: attributed idle {} vs makespan - busy {}",
+                w.worker,
+                w.idle_total(),
+                expect
+            );
+        }
+        let rendered = explain(&fig12_variant(), &tiny());
+        assert!(rendered.contains("legend"), "Gantt legend missing");
+        assert!(rendered.contains("idle attribution:"));
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use dls_core::engine::Scheduler;
 use dls_core::prelude::*;
 use dls_platform::{ClusterModel, MatrixApp, Platform, PlatformSampler};
-use dls_report::{mean, num, par_map, Series, Table};
+use dls_report::{mean, num, par_map, ExplainReport, Series, Table};
 use dls_sim::{simulate, RealismModel, SimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -230,6 +230,13 @@ fn run_scheduler(
 /// the batch; anything else (an LP solver failure, a malformed order) is a
 /// bug, not a platform mismatch, and still aborts loudly.
 pub fn run_sweep(cfg: &SweepConfig, variant: &SweepVariant) -> SweepResult {
+    // Root of this sweep's trace tree: the par_map item spans (and the
+    // solve trees under them) nest here via the TraceContext handoff.
+    let _sweep_span = dls_obs::trace_span!(
+        "sweep.run.seconds",
+        "label" => variant.label,
+        "platforms" => cfg.platforms,
+    );
     let cluster = ClusterModel::gdsdmi();
     let schedulers = variant.resolve_schedulers();
 
@@ -373,6 +380,14 @@ pub fn run_sweep(cfg: &SweepConfig, variant: &SweepVariant) -> SweepResult {
                     })
                     .expect("failures counted above");
                 dls_obs::counter!("sweep.skips").add(failures as u64);
+                // The aggregate counter loses *which* strategy was skipped;
+                // the trace event carries the attribution.
+                dls_obs::trace_event!(
+                    "sweep.skips",
+                    "strategy" => variant.schedulers[si],
+                    "platforms" => failures,
+                    "reason" => reason,
+                );
                 skipped.push(SkippedStrategy {
                     id: variant.schedulers[si].clone(),
                     legend: s.legend().to_string(),
@@ -417,6 +432,49 @@ pub fn run_sweep(cfg: &SweepConfig, variant: &SweepVariant) -> SweepResult {
     }
 }
 
+/// Explains the variant's baseline schedule on one sampled platform — the
+/// `--explain` mode of the figure binaries.
+///
+/// Draws the sweep's first platform (same seed, family, and scales as
+/// `run_sweep`), solves the baseline strategy at the first configured
+/// matrix size, replays the integer schedule under the ideal simulator
+/// (ideal, so the Gantt and idle attribution explain the *schedule*, not
+/// the jitter), and returns the header line plus the rendered
+/// [`dls_report::ExplainReport`].
+///
+/// # Panics
+/// Panics when the baseline strategy cannot solve its own platform family
+/// (a configuration bug, exactly as in [`run_sweep`]).
+pub fn explain_baseline(cfg: &SweepConfig, variant: &SweepVariant) -> (String, ExplainReport) {
+    let cluster = ClusterModel::gdsdmi();
+    let schedulers = variant.resolve_schedulers();
+    let n = cfg.sizes.first().copied().unwrap_or(200);
+    let mut rng = StdRng::seed_from_u64(cfg.base_seed);
+    let (comm, comp) = variant.sampler.sample_factors(&mut rng);
+    let platform = cluster
+        .platform(&MatrixApp::new(n), &comm, &comp)
+        .expect("sampled factors valid")
+        .scale_comp(variant.comp_scale)
+        .scale_comm(variant.comm_scale);
+    let sol = schedulers[0]
+        .solve(&platform)
+        .unwrap_or_else(|e| panic!("baseline '{}' cannot solve: {e}", schedulers[0].name()));
+    let int_sched = integer_schedule(&sol.schedule, cfg.total_units);
+    let report = simulate(
+        sol.execution_platform(&platform),
+        &int_sched,
+        &SimConfig::ideal(),
+    );
+    let header = format!(
+        "{} — explain: {} on platform #0 (n = {}, M = {} units, ideal replay)",
+        variant.label,
+        schedulers[0].legend(),
+        n,
+        cfg.total_units
+    );
+    (header, dls_report::explain(&report.trace))
+}
+
 // ---------------------------------------------------------------------------
 // Multi-round R-sweep: the latency/throughput trade-off axis.
 // ---------------------------------------------------------------------------
@@ -458,6 +516,11 @@ fn run_axis_sweep(
     base_ids: &[String],
     baseline_id: &str,
 ) -> AxisSweep {
+    let _sweep_span = dls_obs::trace_span!(
+        "sweep.run.seconds",
+        "label" => label,
+        "platforms" => cfg.platforms,
+    );
     let cluster = ClusterModel::gdsdmi();
     let n = *cfg.sizes.last().expect("sweep config has sizes");
     let app = MatrixApp::new(n);
@@ -545,6 +608,12 @@ fn run_axis_sweep(
                     .find_map(|(_, o)| o[ci].as_ref().err().cloned())
                     .expect("failures counted above");
                 dls_obs::counter!("sweep.skips").add(failures as u64);
+                dls_obs::trace_event!(
+                    "sweep.skips",
+                    "strategy" => full,
+                    "platforms" => failures,
+                    "reason" => reason,
+                );
                 skipped.push(SkippedStrategy {
                     id: full.clone(),
                     legend: s.legend().to_string(),

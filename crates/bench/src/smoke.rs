@@ -118,9 +118,11 @@ pub fn run_gate(
 
     // Speed factor of this machine vs the baseline machine, clamped so a
     // wildly off calibration cannot mask a real regression.
-    let speed = (time_calibration_ns(5) / baseline_cal_ns).clamp(0.25, 4.0);
+    let calibration_ns = time_calibration_ns(5);
+    let speed = (calibration_ns / baseline_cal_ns).clamp(0.25, 4.0);
     let measured_ns = measure(5);
     let ratio = measured_ns / (baseline_ns * speed);
+    append_history(label, baseline_key, ratio, calibration_ns, measured_ns);
     println!(
         "smoke: {label} {:.2} ms (baseline {:.2} ms, machine speed {speed:.2}x, \
          normalized ratio {ratio:.2}, gate {max_ratio:.1}x)",
@@ -149,6 +151,52 @@ pub fn run_gate(
     }
 }
 
+/// Appends one machine-normalized measurement record to the bench history
+/// log, one JSON object per line, so CI runs archived across commits give
+/// a per-gate trend that is comparable between machines (the ratio is
+/// already speed-normalized and the raw calibration probe rides along for
+/// auditing the normalization itself).
+///
+/// Path: `DLS_BENCH_HISTORY` env override, default the workspace
+/// `target/BENCH_history.jsonl` (resolved from this crate's manifest dir —
+/// cargo runs benches with the *package* dir as cwd, so a cwd-relative
+/// default would scatter per-package files); set it to `0` to disable.
+/// Failures and passes are both recorded (the record is written before the
+/// gate decides), and I/O errors only warn — history must never fail a
+/// gate.
+fn append_history(label: &str, key: &str, ratio: f64, calibration_ns: f64, measured_ns: f64) {
+    let path = std::env::var("DLS_BENCH_HISTORY").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_history.jsonl"
+        )
+        .to_string()
+    });
+    if path == "0" || path.is_empty() {
+        return;
+    }
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let line = format!(
+        "{{\"gate\":\"{label}\",\"key\":\"{key}\",\"ratio\":{ratio:.6},\
+         \"calibration_ns\":{calibration_ns:.0},\"measured_ns\":{measured_ns:.0},\
+         \"unix_time\":{unix_time}}}\n"
+    );
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("smoke: could not append bench history to {path}: {e}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +216,25 @@ mod tests {
     #[test]
     fn calibration_probe_is_positive() {
         assert!(time_calibration_ns(1) > 0.0);
+    }
+
+    #[test]
+    fn history_lines_append_and_round_trip() {
+        let path = std::env::temp_dir().join(format!("bench_history_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("DLS_BENCH_HISTORY", &path);
+        append_history("unit_test_gate", "p128_revised_ns", 1.25, 1.5e6, 2.5e6);
+        append_history("unit_test_gate", "p128_revised_ns", 0.75, 1.5e6, 1.5e6);
+        std::env::remove_var("DLS_BENCH_HISTORY");
+        let doc = std::fs::read_to_string(&path).expect("history file written");
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 2, "one record per gate run");
+        // Every line round-trips through the same scanner the gates use to
+        // read baselines.
+        assert_eq!(json_number(lines[0], "ratio"), Some(1.25));
+        assert_eq!(json_number(lines[1], "calibration_ns"), Some(1_500_000.0));
+        assert!(lines[0].contains("\"gate\":\"unit_test_gate\""));
+        assert!(lines[0].contains("\"key\":\"p128_revised_ns\""));
     }
 }

@@ -134,7 +134,7 @@ pub fn analyze_gate(model: &ScheduleModel) -> Result<(), CoreError> {
     if !analysis_enabled() {
         return Ok(());
     }
-    let _span = dls_obs::span!("core.analyze_gate.seconds");
+    let _span = dls_obs::trace_span!("core.analyze_gate.seconds", "rows" => model.num_rows());
     let report = dls_lp::analyze(model);
     if report.has_errors() {
         return Err(CoreError::InvalidModel(report.to_string()));
@@ -391,9 +391,21 @@ pub fn solve_model(model: &ScheduleModel, key: Option<u64>) -> Result<ModelSolut
 /// Shared engine router for a lowered problem under a caller-chosen cache
 /// key.
 fn solve_lowered(lp: &Problem, key: u64) -> Result<ModelSolution, CoreError> {
+    let engine = current_engine();
+    // The trace span feeds the same `lp_model.solve.seconds` histogram the
+    // pre-trace timer did; the separate timer below only serves the
+    // per-cache-key latency family.
+    let solve_span = dls_obs::trace_span!(
+        "lp_model.solve.seconds",
+        "engine" => match engine {
+            LpEngine::Tableau => "tableau",
+            LpEngine::Revised => "revised",
+        },
+        "key" => format_args!("{key:016x}"),
+    );
     let solve_time = dls_obs::timer();
     let opts = SolverOptions::for_size(lp.num_vars(), lp.num_constraints());
-    let (sol, warm_start) = match current_engine() {
+    let (sol, warm_start) = match engine {
         LpEngine::Tableau => (dls_lp::solve_with::<f64>(lp, &opts)?, false),
         LpEngine::Revised => {
             let res = BASIS_CACHE.with(|c| c.borrow_mut().solve::<f64>(key, lp, &opts));
@@ -404,6 +416,10 @@ fn solve_lowered(lp: &Problem, key: u64) -> Result<ModelSolution, CoreError> {
                 // on the tableau before surfacing.
                 Err(LpError::IterationLimit { .. }) | Err(LpError::SingularBasis) => {
                     dls_obs::counter!("lp_model.tableau_retry").incr();
+                    dls_obs::trace_event!(
+                        "lp_model.tableau_retry",
+                        "key" => format_args!("{key:016x}"),
+                    );
                     (dls_lp::solve_with::<f64>(lp, &opts)?, false)
                 }
                 Err(e) => return Err(e.into()),
@@ -415,8 +431,8 @@ fn solve_lowered(lp: &Problem, key: u64) -> Result<ModelSolution, CoreError> {
     } else {
         miss_counter().incr();
     }
+    solve_span.finish();
     if let Some(seconds) = solve_time.stop() {
-        dls_obs::histogram!("lp_model.solve.seconds").record(seconds);
         record_keyed_latency(key, seconds);
     }
     Ok(ModelSolution {
@@ -467,6 +483,11 @@ pub fn solve_scenario(
     return_order: &[WorkerId],
     model: PortModel,
 ) -> Result<LpSchedule, CoreError> {
+    let _span = dls_obs::trace_span!(
+        "core.solve_scenario.seconds",
+        "workers" => platform.num_workers(),
+        "enrolled" => send_order.len(),
+    );
     let (ir, vars) = scenario_model(platform, send_order, return_order, model)?;
     analyze_gate(&ir)?;
     // The platform-derived key (not the IR's structural key) so the

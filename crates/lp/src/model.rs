@@ -383,7 +383,7 @@ impl ScheduleModel {
     /// the offending row's label instead of index-panicking deep inside the
     /// solver's standardization.
     pub fn lower(&self) -> Problem {
-        let _span = dls_obs::span!("ir.lower.seconds");
+        let _span = dls_obs::trace_span!("ir.lower.seconds", "rows" => self.rows.len());
         #[cfg(debug_assertions)]
         for row in &self.rows {
             if let Some(&(i, _)) = row.terms.iter().find(|&&(i, _)| i >= self.names.len()) {

@@ -148,7 +148,10 @@ impl BasisCache {
         problem: &Problem,
         opts: &SolverOptions,
     ) -> Result<RevisedSolution<S>, LpError> {
+        let probe =
+            dls_obs::trace_span!("basis_cache.probe.seconds", "key" => format_args!("{key:016x}"));
         let warm = self.entries.get(&key);
+        probe.finish();
         let res = match solve_revised_with::<S>(problem, opts, warm) {
             Ok(res) => res,
             Err(e) => {
@@ -242,7 +245,7 @@ impl<S: Scalar> Factor<S> {
     /// residual is noise relative to its original entries — is rejected.
     fn refactorize(cols: &Columns<S>, basis: &[usize]) -> Option<Factor<S>> {
         dls_obs::counter!("revised.refactorizations").incr();
-        let _span = dls_obs::span!("revised.refactorize.seconds");
+        let _span = dls_obs::trace_span!("revised.refactorize.seconds", "m" => cols.m);
         let m = cols.m;
         // Augmented [B | I], eliminated in place.
         let mut b = vec![S::zero(); m * m];
@@ -328,6 +331,7 @@ impl<S: Scalar> Factor<S> {
 
     /// `FTRAN`: computes `B^-1 v` for a dense `v`.
     fn ftran(&self, v: &[S]) -> Vec<S> {
+        let _span = dls_obs::trace_span!("revised.ftran.seconds");
         let m = self.m;
         let mut out = vec![S::zero(); m];
         for (c, vc) in v.iter().enumerate() {
@@ -344,6 +348,7 @@ impl<S: Scalar> Factor<S> {
     /// `FTRAN` of a column with known support (only those entries of `v`
     /// are read).
     fn ftran_sparse(&self, v: &[S], support: &[usize]) -> Vec<S> {
+        let _span = dls_obs::trace_span!("revised.ftran.seconds");
         let m = self.m;
         let mut out = vec![S::zero(); m];
         for &c in support {
@@ -358,6 +363,7 @@ impl<S: Scalar> Factor<S> {
 
     /// `BTRAN`: computes `c^T B^-1` (as a column vector).
     fn btran(&self, c: &[S]) -> Vec<S> {
+        let _span = dls_obs::trace_span!("revised.btran.seconds");
         let m = self.m;
         let mut y: Vec<S> = c.to_vec();
         for (pr, w) in self.etas.iter().rev() {
@@ -459,7 +465,7 @@ impl<S: Scalar> State<S> {
             let use_bland = self.iterations - start >= opts.bland_after;
 
             // Price: y = c_B^T B^-1, then d_j = c_j - y . a_j.
-            let pricing = dls_obs::timer();
+            let pricing = dls_obs::trace_span!("revised.pricing.seconds");
             let cb: Vec<S> = self.basis.iter().map(|&c| costs[c].clone()).collect();
             let y = self.factor.btran(&cb);
             let entering: Option<(usize, S)> = {
@@ -544,9 +550,7 @@ impl<S: Scalar> State<S> {
                     best
                 }
             };
-            if let Some(el) = pricing.stop() {
-                dls_obs::histogram!("revised.pricing.seconds").record(el);
-            }
+            pricing.finish();
             let Some((pc, _)) = entering else {
                 return Ok(PhaseOutcome::Optimal);
             };
@@ -661,7 +665,12 @@ pub fn solve_revised_with<S: Scalar>(
     warm: Option<&Basis>,
 ) -> Result<RevisedSolution<S>, LpError> {
     dls_obs::counter!("revised.solve").incr();
-    let _span = dls_obs::span!("revised.solve.seconds");
+    let _span = dls_obs::trace_span!(
+        "revised.solve.seconds",
+        "vars" => problem.num_vars(),
+        "rows" => problem.num_constraints(),
+        "warm" => warm.is_some(),
+    );
     problem.validate()?;
     let n = problem.num_vars();
     let std_form = standardize::<S>(problem);

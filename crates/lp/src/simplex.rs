@@ -360,7 +360,11 @@ pub fn solve_with<S: Scalar>(
     opts: &SolverOptions,
 ) -> Result<Solution<S>, LpError> {
     dls_obs::counter!("tableau.solve").incr();
-    let _span = dls_obs::span!("tableau.solve.seconds");
+    let _span = dls_obs::trace_span!(
+        "tableau.solve.seconds",
+        "vars" => problem.num_vars(),
+        "rows" => problem.num_constraints(),
+    );
     problem.validate()?;
     let n = problem.num_vars();
     let std_form = standardize::<S>(problem);
@@ -571,11 +575,9 @@ fn run_phase<S: Scalar>(
             return Err(LpError::Unbounded);
         };
 
-        let pivot_time = dls_obs::timer();
+        let pivot_span = dls_obs::trace_span!("tableau.pivot.seconds");
         t.pivot(pr, pc);
-        if let Some(el) = pivot_time.stop() {
-            dls_obs::histogram!("tableau.pivot.seconds").record(el);
-        }
+        pivot_span.finish();
         *iterations += 1;
     }
 }

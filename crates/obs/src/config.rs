@@ -16,19 +16,29 @@ pub enum Mode {
     /// [`crate::emit`] writes JSON lines to the given path (append) or to
     /// stderr when no path is given.
     Jsonl(Option<PathBuf>),
+    /// [`crate::emit`] writes the collected trace-tree events to the given
+    /// path in Chrome Trace Event Format (open in `chrome://tracing` or
+    /// Perfetto).
+    Chrome(PathBuf),
+    /// [`crate::emit`] writes the collected trace-tree events to the given
+    /// path as collapsed flamegraph stacks (`a;b;c <microseconds>`).
+    Folded(PathBuf),
 }
 
 const CODE_UNSET: u8 = u8::MAX;
 const CODE_DISABLED: u8 = 0;
 const CODE_SUMMARY: u8 = 1;
 const CODE_JSONL: u8 = 2;
+const CODE_CHROME: u8 = 3;
+const CODE_FOLDED: u8 = 4;
 
 /// Current mode as a small code, so `timing_enabled` is one atomic load.
 static MODE_CODE: AtomicU8 = AtomicU8::new(CODE_UNSET);
-/// JSONL path from the environment (parsed once).
-static ENV_JSONL_PATH: OnceLock<Option<PathBuf>> = OnceLock::new();
-/// JSONL path from a programmatic override, if any.
-static OVERRIDE_JSONL_PATH: RwLock<Option<Option<PathBuf>>> = RwLock::new(None);
+/// Sink path from the environment (parsed once; shared by the jsonl,
+/// chrome and folded modes — only one mode is ever active).
+static ENV_SINK_PATH: OnceLock<Option<PathBuf>> = OnceLock::new();
+/// Sink path from a programmatic override, if any.
+static OVERRIDE_SINK_PATH: RwLock<Option<Option<PathBuf>>> = RwLock::new(None);
 
 fn parse_env() -> (u8, Option<PathBuf>) {
     let Ok(raw) = std::env::var("DLS_TRACE") else {
@@ -41,9 +51,14 @@ fn parse_env() -> (u8, Option<PathBuf>) {
         (CODE_SUMMARY, None)
     } else if let Some(rest) = v.strip_prefix("jsonl") {
         (CODE_JSONL, rest.strip_prefix(':').map(PathBuf::from))
+    } else if let Some(path) = v.strip_prefix("chrome:").filter(|p| !p.is_empty()) {
+        (CODE_CHROME, Some(PathBuf::from(path)))
+    } else if let Some(path) = v.strip_prefix("folded:").filter(|p| !p.is_empty()) {
+        (CODE_FOLDED, Some(PathBuf::from(path)))
     } else {
         eprintln!(
-            "dls-obs: unrecognized DLS_TRACE={v:?} (expected summary|jsonl[:path]); disabled"
+            "dls-obs: unrecognized DLS_TRACE={v:?} \
+             (expected summary|jsonl[:path]|chrome:path|folded:path); disabled"
         );
         (CODE_DISABLED, None)
     }
@@ -57,24 +72,28 @@ fn code() -> u8 {
     // First touch: parse the environment. A concurrent first touch parses
     // the same stable environment, so the race is benign.
     let (parsed, path) = parse_env();
-    let _ = ENV_JSONL_PATH.set(path);
+    let _ = ENV_SINK_PATH.set(path);
     // Don't clobber an override installed between the load above and here.
     let _ = MODE_CODE.compare_exchange(CODE_UNSET, parsed, Ordering::Relaxed, Ordering::Relaxed);
     MODE_CODE.load(Ordering::Relaxed)
 }
 
-fn env_jsonl_path() -> Option<PathBuf> {
-    ENV_JSONL_PATH.get_or_init(|| parse_env().1).clone()
+fn env_sink_path() -> Option<PathBuf> {
+    ENV_SINK_PATH.get_or_init(|| parse_env().1).clone()
+}
+
+fn sink_path() -> Option<PathBuf> {
+    let over = OVERRIDE_SINK_PATH.read().expect("obs config lock").clone();
+    over.unwrap_or_else(env_sink_path)
 }
 
 /// The active tracing [`Mode`] (override if set, else `DLS_TRACE`).
 pub fn mode() -> Mode {
     match code() {
         CODE_SUMMARY => Mode::Summary,
-        CODE_JSONL => {
-            let over = OVERRIDE_JSONL_PATH.read().expect("obs config lock").clone();
-            Mode::Jsonl(over.unwrap_or_else(env_jsonl_path))
-        }
+        CODE_JSONL => Mode::Jsonl(sink_path()),
+        CODE_CHROME => sink_path().map(Mode::Chrome).unwrap_or(Mode::Disabled),
+        CODE_FOLDED => sink_path().map(Mode::Folded).unwrap_or(Mode::Disabled),
         _ => Mode::Disabled,
     }
 }
@@ -90,8 +109,10 @@ pub fn set_mode(mode: Option<Mode>) {
         Some(Mode::Disabled) => (CODE_DISABLED, None),
         Some(Mode::Summary) => (CODE_SUMMARY, None),
         Some(Mode::Jsonl(path)) => (CODE_JSONL, Some(path)),
+        Some(Mode::Chrome(path)) => (CODE_CHROME, Some(Some(path))),
+        Some(Mode::Folded(path)) => (CODE_FOLDED, Some(Some(path))),
     };
-    *OVERRIDE_JSONL_PATH.write().expect("obs config lock") = path_override;
+    *OVERRIDE_SINK_PATH.write().expect("obs config lock") = path_override;
     MODE_CODE.store(code, Ordering::Relaxed);
 }
 

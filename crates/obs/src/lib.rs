@@ -13,6 +13,15 @@
 //! | `summary` | [`emit`] prints an aligned metrics table to stderr |
 //! | `jsonl` | [`emit`] writes one JSON object per metric to stderr |
 //! | `jsonl:PATH` | same, appended to `PATH` instead of stderr |
+//! | `chrome:PATH` | [`emit`] writes collected trace-tree events to `PATH` in Chrome Trace Event Format |
+//! | `folded:PATH` | [`emit`] writes collapsed flamegraph stacks to `PATH` |
+//!
+//! On top of the aggregate layer sits a causal **trace tree**: the
+//! [`trace_span!`] macro opens a span carrying a trace id, a parent id (the
+//! innermost active span on the thread) and key=value attributes, recorded
+//! into bounded lock-free per-thread event buffers *and* into the
+//! histogram of the same name. Thread boundaries are crossed explicitly
+//! with [`current_context`] / [`TraceContext::attach`].
 //!
 //! ## Cost model
 //!
@@ -47,16 +56,23 @@
 #![warn(missing_docs)]
 
 mod config;
+mod export;
 mod hist;
 mod macros;
 mod registry;
 mod sink;
 mod span;
+mod trace;
 
 pub use config::{mode, set_mode, timing_enabled, Mode};
+pub use export::{render_chrome, render_folded};
 pub use hist::HistogramSummary;
 pub use registry::{
     counter, gauge, histogram, reset_all, snapshot, Counter, Gauge, Histogram, Snapshot,
 };
 pub use sink::{emit, render_jsonl, render_summary};
 pub use span::{span, timer, Span, Timer};
+pub use trace::{
+    current_context, reset_events, trace_events, trace_instant, ContextGuard, TraceContext,
+    TraceEvent, TraceSpan, MAX_EVENTS_PER_THREAD,
+};

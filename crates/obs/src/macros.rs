@@ -45,3 +45,46 @@ macro_rules! span {
         $crate::Span::start($crate::histogram!($name))
     };
 }
+
+/// Starts a [`crate::TraceSpan`]: a causal trace-tree span that *also*
+/// records its elapsed seconds into the histogram of the same name (so
+/// swapping `span!` for `trace_span!` changes no metric). Optional
+/// `"key" => value` attributes are formatted with `Display` — and only
+/// when tracing is enabled, so disabled call sites pay one atomic load.
+/// Bind it (`let _span = ...`) so it drops at scope exit.
+///
+/// ```
+/// dls_obs::set_mode(Some(dls_obs::Mode::Summary));
+/// let _outer = dls_obs::trace_span!("doc.outer.seconds");
+/// let _inner = dls_obs::trace_span!("doc.inner.seconds", "n" => 42);
+/// ```
+#[macro_export]
+macro_rules! trace_span {
+    ($name:expr $(, $k:expr => $v:expr)* $(,)?) => {{
+        let __hist = $crate::histogram!($name);
+        if $crate::timing_enabled() {
+            $crate::TraceSpan::start_enabled(
+                __hist,
+                $name,
+                ::std::vec![$(($k, ::std::format!("{}", $v))),*],
+            )
+        } else {
+            $crate::TraceSpan::inert(__hist)
+        }
+    }};
+}
+
+/// Records a zero-duration instant event under the current trace span —
+/// an attribute carrier (e.g. which strategy was skipped and why). A no-op
+/// when tracing is disabled; attributes are only formatted when enabled.
+#[macro_export]
+macro_rules! trace_event {
+    ($name:expr $(, $k:expr => $v:expr)* $(,)?) => {
+        if $crate::timing_enabled() {
+            $crate::trace_instant(
+                $name,
+                ::std::vec![$(($k, ::std::format!("{}", $v))),*],
+            );
+        }
+    };
+}

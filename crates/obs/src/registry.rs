@@ -352,10 +352,12 @@ pub fn snapshot() -> Snapshot {
     }
 }
 
-/// Zeroes every counter, gauge and histogram in every shard (names stay
-/// interned, so cached handles remain valid). Meant for tests and for
-/// delimiting measurement windows in harnesses.
+/// Zeroes every counter, gauge and histogram in every shard and discards
+/// buffered trace events (names stay interned, so cached handles remain
+/// valid). Meant for tests and for delimiting measurement windows in
+/// harnesses.
 pub fn reset_all() {
+    crate::trace::reset_events();
     let reg = registry();
     for s in all_shards() {
         for c in &s.counters {

@@ -26,19 +26,37 @@ pub fn emit(label: &str) {
             let seq = EMIT_SEQ.fetch_add(1, Ordering::Relaxed);
             let text = render_jsonl(&crate::snapshot(), label, seq);
             match path {
-                Some(path) => {
-                    let written = std::fs::OpenOptions::new()
-                        .create(true)
-                        .append(true)
-                        .open(&path)
-                        .and_then(|mut f| f.write_all(text.as_bytes()));
-                    if let Err(err) = written {
-                        eprintln!("dls-obs: cannot write {}: {err}", path.display());
-                    }
-                }
+                Some(path) => append_file(&path, &text),
                 None => eprint!("{text}"),
             }
         }
+        Mode::Chrome(path) => {
+            // Whole-file format: rewrite with every event collected so
+            // far, so the file is a valid JSON document after each emit.
+            let text = crate::export::render_chrome(&crate::trace_events());
+            write_file(&path, &text);
+        }
+        Mode::Folded(path) => {
+            let text = crate::export::render_folded(&crate::trace_events());
+            write_file(&path, &text);
+        }
+    }
+}
+
+fn append_file(path: &std::path::Path, text: &str) {
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(text.as_bytes()));
+    if let Err(err) = written {
+        eprintln!("dls-obs: cannot write {}: {err}", path.display());
+    }
+}
+
+fn write_file(path: &std::path::Path, text: &str) {
+    if let Err(err) = std::fs::write(path, text) {
+        eprintln!("dls-obs: cannot write {}: {err}", path.display());
     }
 }
 
@@ -75,11 +93,16 @@ pub fn render_summary(snap: &Snapshot, label: &str) -> String {
             ));
         }
     }
+    // Always-visible overflow footer: a nonzero count means metric names
+    // were silently refused (name-table capacity) and the tables above are
+    // incomplete — `tests/obs_registry.rs` fails on it.
     if snap.dropped > 0 {
         out.push_str(&format!(
-            "({} metric registrations dropped: name-table capacity reached)\n",
+            "dropped registrations: {} (name-table capacity reached; data above is incomplete)\n",
             snap.dropped
         ));
+    } else {
+        out.push_str("dropped registrations: 0\n");
     }
     out
 }
@@ -151,7 +174,7 @@ fn fmt_num(v: f64) -> String {
 
 /// JSON string literal (quotes + minimal escaping; metric names are ASCII
 /// identifiers but labels are caller-supplied).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -171,7 +194,7 @@ fn json_str(s: &str) -> String {
 
 /// JSON number (finite `f64`; Rust's `Display` never emits `inf`/`NaN`
 /// here because the registry refuses non-finite observations).
-fn json_num(v: f64) -> String {
+pub(crate) fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

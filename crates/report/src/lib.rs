@@ -13,17 +13,22 @@
 //! * [`summarize`] / [`linear_fit`] — statistics for averaged sweeps and
 //!   the Figure 8 linearity check;
 //! * [`write_dat`] — gnuplot-friendly series files for regenerating plots;
-//! * [`par_map`] — scoped-thread parallel map for the 50-platform sweeps.
+//! * [`par_map`] — scoped-thread parallel map for the 50-platform sweeps;
+//! * [`explain`] — schedule-explain report from a [`dls_sim::Trace`]:
+//!   Gantt plus per-worker idle-cause attribution and port-occupancy
+//!   shares (the figure binaries expose it behind `--explain`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod explain;
 mod output;
 mod par;
 mod regression;
 mod stats;
 mod table;
 
+pub use explain::{explain, ExplainReport, IdleCause, IdleInterval, WorkerExplain};
 pub use output::{write_dat, write_text, Series};
 pub use par::par_map;
 pub use regression::{linear_fit, LinearFit};

@@ -32,9 +32,13 @@ where
     let threads = available_threads().min(n.max(1));
     dls_obs::histogram!("par_map.batch_items").record(n as f64);
     dls_obs::gauge!("par_map.threads").set(threads as f64);
+    // Capture the caller's trace context before spawning: worker threads
+    // attach it so per-item spans (and the solve trees under them) nest
+    // under the span that submitted the batch, not as orphan roots.
+    let ctx = dls_obs::current_context();
     let run = |i: usize| -> Result<U, String> {
-        let item_time = dls_obs::timer();
-        let out = catch_unwind(AssertUnwindSafe(|| f(&items[i]))).map_err(|payload| {
+        let _item_span = dls_obs::trace_span!("par_map.item.seconds", "index" => i);
+        catch_unwind(AssertUnwindSafe(|| f(&items[i]))).map_err(|payload| {
             if let Some(s) = payload.downcast_ref::<&str>() {
                 (*s).to_string()
             } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -42,11 +46,7 @@ where
             } else {
                 "non-string panic payload".to_string()
             }
-        });
-        if let Some(el) = item_time.stop() {
-            dls_obs::histogram!("par_map.item.seconds").record(el);
-        }
-        out
+        })
     };
 
     let mut results: Vec<Option<Result<U, String>>> = Vec::with_capacity(n);
@@ -62,6 +62,9 @@ where
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
+                    // Adopt the submitting thread's span as parent for the
+                    // lifetime of this worker (explicit TraceContext handoff).
+                    let _ctx_guard = ctx.map(dls_obs::TraceContext::attach);
                     // Each worker claims indices off the shared cursor and
                     // buffers its outputs locally to keep the mutex cold.
                     let mut local: Vec<(usize, Result<U, String>)> = Vec::new();
@@ -174,6 +177,27 @@ mod tests {
         let msg = err.downcast_ref::<String>().unwrap().clone();
         assert!(msg.contains("item 0 of 1"), "message was: {msg}");
         assert!(msg.contains("bad singleton"), "message was: {msg}");
+    }
+
+    #[test]
+    fn item_spans_nest_under_the_callers_span() {
+        dls_obs::set_mode(Some(dls_obs::Mode::Summary));
+        {
+            let _batch = dls_obs::trace_span!("par.test.batch.seconds");
+            let items: Vec<u64> = (0..16).collect();
+            let out = par_map(&items, |&x| x + 1);
+            assert_eq!(out.len(), 16);
+        }
+        let events = dls_obs::trace_events();
+        let batch = events
+            .iter()
+            .find(|e| e.name == "par.test.batch.seconds")
+            .expect("batch span recorded");
+        let nested = events
+            .iter()
+            .filter(|e| e.name == "par_map.item.seconds" && e.parent_id == Some(batch.span_id))
+            .count();
+        assert_eq!(nested, 16, "every item span is a child of the batch span");
     }
 
     #[test]

@@ -19,9 +19,14 @@
 //!   comparing against its checked-in baseline.
 //! * **`obs-metric-names`** — every metric-name literal passed to the
 //!   `dls-obs` recording macros (`counter!`, `gauge!`, `histogram!`,
-//!   `span!`) must be listed, backticked, in the README's observability
-//!   inventory, so the documented name table cannot silently go stale
-//!   when instrumentation is added or renamed.
+//!   `span!`, `trace_span!`, `trace_event!`) must be listed, backticked,
+//!   in the README's observability inventory, so the documented name
+//!   table cannot silently go stale when instrumentation is added or
+//!   renamed.
+//!
+//! Beyond linting, [`check_chrome_trace`] validates a Chrome Trace Event
+//! Format export produced by `DLS_TRACE=chrome:<path>` (the
+//! `cargo xtask check-trace` task CI runs on a quick `repro_all` trace).
 //!
 //! The scanner is textual, not syntactic: it strips `//` comments and
 //! string literals, and stops at a file's trailing `#[cfg(test)]` module
@@ -395,7 +400,20 @@ pub fn check_baseline_keys(
 }
 
 /// The `dls-obs` recording macros whose first argument names a metric.
-const OBS_MACROS: &[&str] = &["counter!(", "gauge!(", "histogram!(", "span!("];
+const OBS_MACROS: &[&str] = &[
+    "counter!(",
+    "gauge!(",
+    "histogram!(",
+    "span!(",
+    "trace_span!(",
+    "trace_event!(",
+];
+
+/// `true` when the match at `pos` starts the macro name rather than being
+/// the suffix of a longer identifier (`span!(` inside `trace_span!(`).
+fn macro_name_starts_at(s: &str, pos: usize) -> bool {
+    pos == 0 || !matches!(s.as_bytes()[pos - 1], b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+}
 
 /// Rule `obs-metric-names`: every metric-name literal handed to a
 /// `dls-obs` macro must appear backticked in the README (the
@@ -418,7 +436,11 @@ pub fn check_obs_metric_names(path: &Path, content: &str, readme: &str) -> Vec<V
             let mut literal_call = false;
             let mut from = 0;
             while let Some(pos) = line.code[from..].find(mac) {
-                from += pos + mac.len();
+                let abs = from + pos;
+                from = abs + mac.len();
+                if !macro_name_starts_at(&line.code, abs) {
+                    continue;
+                }
                 if line.code[from..].trim_start().starts_with('"') {
                     literal_call = true;
                     break;
@@ -431,7 +453,11 @@ pub fn check_obs_metric_names(path: &Path, content: &str, readme: &str) -> Vec<V
             // names from the raw line (metric names contain no escapes).
             let mut from = 0;
             while let Some(pos) = raw[from..].find(mac) {
-                from += pos + mac.len();
+                let abs = from + pos;
+                from = abs + mac.len();
+                if !macro_name_starts_at(raw, abs) {
+                    continue;
+                }
                 let rest = raw[from..].trim_start();
                 let Some(stripped) = rest.strip_prefix('"') else {
                     continue;
@@ -562,6 +588,360 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
     Ok(violations)
 }
 
+// ---------------------------------------------------------------------------
+// Chrome-trace checker (`cargo xtask check-trace <file>`)
+// ---------------------------------------------------------------------------
+
+/// Minimal JSON value for the trace checker (std-only by design, like the
+/// rest of this crate).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, fields in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (`None` on non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document. Strict on structure (a torn or truncated
+/// export fails), tolerant on nothing: trailing garbage is an error too.
+pub fn parse_json(doc: &str) -> Result<Json, String> {
+    struct P<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+    impl P<'_> {
+        fn err<T>(&self, what: &str) -> Result<T, String> {
+            Err(format!("{what} at byte {}", self.i))
+        }
+        fn ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn value(&mut self) -> Result<Json, String> {
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Json::Str(self.string()?)),
+                Some(b't') => self.lit(b"true", Json::Bool(true)),
+                Some(b'f') => self.lit(b"false", Json::Bool(false)),
+                Some(b'n') => self.lit(b"null", Json::Null),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                _ => self.err("expected a JSON value"),
+            }
+        }
+        fn lit(&mut self, lit: &[u8], v: Json) -> Result<Json, String> {
+            if self.b[self.i..].starts_with(lit) {
+                self.i += lit.len();
+                Ok(v)
+            } else {
+                self.err("malformed literal")
+            }
+        }
+        fn number(&mut self) -> Result<Json, String> {
+            let start = self.i;
+            while self.i < self.b.len()
+                && matches!(
+                    self.b[self.i],
+                    b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+                )
+            {
+                self.i += 1;
+            }
+            std::str::from_utf8(&self.b[start..self.i])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("malformed number at byte {start}"))
+        }
+        fn string(&mut self) -> Result<String, String> {
+            self.i += 1; // opening quote
+            let mut out = String::new();
+            while let Some(&c) = self.b.get(self.i) {
+                match c {
+                    b'"' => {
+                        self.i += 1;
+                        return Ok(out);
+                    }
+                    b'\\' => {
+                        let esc = self.b.get(self.i + 1).copied();
+                        self.i += 2;
+                        match esc {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .b
+                                    .get(self.i..self.i + 4)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok());
+                                self.i += 4;
+                                match hex.and_then(char::from_u32) {
+                                    Some(ch) => out.push(ch),
+                                    None => return self.err("bad \\u escape"),
+                                }
+                            }
+                            _ => return self.err("bad escape"),
+                        }
+                    }
+                    _ => {
+                        // Copy the full UTF-8 scalar: decode just this
+                        // sequence (validating the whole tail per char
+                        // would make parsing quadratic).
+                        let len = match c {
+                            0x00..=0x7f => 1,
+                            0xc0..=0xdf => 2,
+                            0xe0..=0xef => 3,
+                            _ => 4,
+                        };
+                        let seq = self
+                            .b
+                            .get(self.i..self.i + len)
+                            .and_then(|s| std::str::from_utf8(s).ok())
+                            .ok_or_else(|| format!("invalid UTF-8 at byte {}", self.i))?;
+                        out.push_str(seq);
+                        self.i += len;
+                    }
+                }
+            }
+            self.err("unterminated string")
+        }
+        fn object(&mut self) -> Result<Json, String> {
+            self.i += 1;
+            let mut fields = Vec::new();
+            self.ws();
+            if self.b.get(self.i) == Some(&b'}') {
+                self.i += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                self.ws();
+                if self.b.get(self.i) != Some(&b'"') {
+                    return self.err("expected object key");
+                }
+                let key = self.string()?;
+                self.ws();
+                if self.b.get(self.i) != Some(&b':') {
+                    return self.err("expected ':'");
+                }
+                self.i += 1;
+                let v = self.value()?;
+                fields.push((key, v));
+                self.ws();
+                match self.b.get(self.i) {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return self.err("expected ',' or '}'"),
+                }
+            }
+        }
+        fn array(&mut self) -> Result<Json, String> {
+            self.i += 1;
+            let mut items = Vec::new();
+            self.ws();
+            if self.b.get(self.i) == Some(&b']') {
+                self.i += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.ws();
+                match self.b.get(self.i) {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return self.err("expected ',' or ']'"),
+                }
+            }
+        }
+    }
+    let mut p = P {
+        b: doc.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    Ok(v)
+}
+
+/// Summary of a validated chrome trace (printed by `xtask check-trace`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// `ph:"X"` complete (span) events.
+    pub complete: usize,
+    /// `ph:"i"` instant events.
+    pub instants: usize,
+    /// `par_map.item.seconds` spans.
+    pub par_map_items: usize,
+    /// `core.solve_scenario.seconds` spans nesting (transitively, via the
+    /// `args.span_id`/`args.parent_id` chain) under a `par_map` item.
+    pub nested_solves: usize,
+}
+
+/// Validates a `DLS_TRACE=chrome:<path>` export:
+///
+/// * the document parses and has a `traceEvents` array;
+/// * every event carries `name`, `ph` and `pid`; complete events (`"X"`)
+///   also `tid`, `ts` and `dur`, and span/instant events an
+///   `args.span_id`;
+/// * at least one `par_map.item.seconds` span exists and at least one
+///   `core.solve_scenario.seconds` span nests under one through the
+///   parent chain — the causal-propagation contract of the solve path.
+pub fn check_chrome_trace(doc: &str) -> Result<TraceCheck, String> {
+    let root = parse_json(doc)?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("document has no traceEvents array")?;
+
+    let mut check = TraceCheck {
+        events: events.len(),
+        complete: 0,
+        instants: 0,
+        par_map_items: 0,
+        nested_solves: 0,
+    };
+    // span id -> (name, parent id) over all span events.
+    let mut span_index: std::collections::HashMap<u64, (String, Option<u64>)> =
+        std::collections::HashMap::new();
+    let mut solve_parents: Vec<Option<u64>> = Vec::new();
+    for (n, ev) in events.iter().enumerate() {
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {n} has no name"))?;
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {n} ({name}) has no ph"))?;
+        if ev.get("pid").and_then(Json::as_f64).is_none() {
+            return Err(format!("event {n} ({name}) has no pid"));
+        }
+        match ph {
+            "M" => continue, // process_name metadata
+            "i" => check.instants += 1,
+            "X" => {
+                check.complete += 1;
+                for field in ["tid", "ts", "dur"] {
+                    if ev.get(field).and_then(Json::as_f64).is_none() {
+                        return Err(format!("complete event {n} ({name}) has no {field}"));
+                    }
+                }
+            }
+            other => return Err(format!("event {n} ({name}) has unexpected ph {other:?}")),
+        }
+        let args = ev
+            .get("args")
+            .ok_or_else(|| format!("event {n} ({name}) has no args"))?;
+        let span_id = args
+            .get("span_id")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {n} ({name}) has no args.span_id"))?
+            as u64;
+        let parent_id = args
+            .get("parent_id")
+            .and_then(Json::as_f64)
+            .map(|p| p as u64);
+        if ph == "X" {
+            span_index.insert(span_id, (name.to_string(), parent_id));
+            if name == "par_map.item.seconds" {
+                check.par_map_items += 1;
+            }
+            if name == "core.solve_scenario.seconds" {
+                solve_parents.push(parent_id);
+            }
+        }
+    }
+
+    if check.par_map_items == 0 {
+        return Err("no par_map.item.seconds spans in the trace".into());
+    }
+    if solve_parents.is_empty() {
+        return Err("no core.solve_scenario.seconds spans in the trace".into());
+    }
+    for mut parent in solve_parents {
+        // Walk up the parent chain (depth-capped against cycles).
+        for _ in 0..64 {
+            let Some(pid) = parent else { break };
+            let Some((pname, pparent)) = span_index.get(&pid) else {
+                break;
+            };
+            if pname == "par_map.item.seconds" {
+                check.nested_solves += 1;
+                break;
+            }
+            parent = *pparent;
+        }
+    }
+    if check.nested_solves == 0 {
+        return Err(
+            "no core.solve_scenario.seconds span nests under a par_map.item.seconds span \
+             (TraceContext propagation broken?)"
+                .into(),
+        );
+    }
+    Ok(check)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -680,6 +1060,84 @@ mod tests {
         // The macro definition forwards `$name` — no literal, no firing.
         let src = "macro_rules! span {\n    ($name:expr) => { $crate::Span::start($crate::histogram!($name)) };\n}\n";
         assert!(check_obs_metric_names(Path::new("crates/obs/src/macros.rs"), src, "").is_empty());
+    }
+
+    #[test]
+    fn obs_metric_names_covers_trace_macros_without_double_counting() {
+        let src = "\
+fn f() {
+    let _s = dls_obs::trace_span!(\"ghost.span.seconds\", \"k\" => 1);
+    dls_obs::trace_event!(\"ghost.instant\");
+    dls_obs::trace_span!(\"known.span.seconds\");
+}
+";
+        let readme = "| `known.span.seconds` | phase |\n";
+        let v = check_obs_metric_names(Path::new("crates/foo/src/lib.rs"), src, readme);
+        // One violation per undocumented name: `span!(` inside
+        // `trace_span!(` must not fire a second time.
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].message.contains("ghost.span.seconds"));
+        assert!(v[1].message.contains("ghost.instant"));
+    }
+
+    #[test]
+    fn json_parser_round_trips_and_rejects_torn_documents() {
+        let doc = r#"{"a":[1,-2.5e3,"x\"A"],"b":{"c":null,"d":true},"e":false}"#;
+        let v = parse_json(doc).expect("parses");
+        assert_eq!(
+            v.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
+        assert_eq!(v.get("b").and_then(|b| b.get("c")), Some(&Json::Null));
+        assert!(parse_json("{\"a\":1").is_err(), "truncated object");
+        assert!(parse_json("{\"a\":1} x").is_err(), "trailing garbage");
+        assert!(parse_json("{\"a\":\"tor").is_err(), "torn string");
+    }
+
+    fn span_event(name: &str, span_id: u64, parent_id: Option<u64>) -> String {
+        let parent = parent_id
+            .map(|p| format!(",\"parent_id\":{p}"))
+            .unwrap_or_default();
+        format!(
+            "{{\"name\":\"{name}\",\"cat\":\"dls\",\"ph\":\"X\",\"ts\":1,\"dur\":2,\
+             \"pid\":1,\"tid\":0,\"args\":{{\"span_id\":{span_id}{parent}}}}}"
+        )
+    }
+
+    #[test]
+    fn check_trace_accepts_nested_solves_and_reports_counts() {
+        let doc = format!(
+            "{{\"traceEvents\":[\n\
+             {{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{{\"name\":\"trace 1\"}}}},\n{},\n{},\n{}\n],\
+             \"displayTimeUnit\":\"ms\"}}",
+            span_event("sweep.run.seconds", 1, None),
+            span_event("par_map.item.seconds", 2, Some(1)),
+            span_event("core.solve_scenario.seconds", 3, Some(2)),
+        );
+        let check = check_chrome_trace(&doc).expect("valid trace");
+        assert_eq!(check.events, 4);
+        assert_eq!(check.complete, 3);
+        assert_eq!(check.par_map_items, 1);
+        assert_eq!(check.nested_solves, 1);
+    }
+
+    #[test]
+    fn check_trace_rejects_orphan_solves_and_schema_gaps() {
+        // Solve span present but not under a par_map item.
+        let orphan = format!(
+            "{{\"traceEvents\":[\n{},\n{}\n]}}",
+            span_event("par_map.item.seconds", 2, None),
+            span_event("core.solve_scenario.seconds", 3, None),
+        );
+        let err = check_chrome_trace(&orphan).unwrap_err();
+        assert!(err.contains("nests under"), "{err}");
+
+        // A complete event missing `dur` is a schema error.
+        let torn = "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"X\",\"ts\":1,\
+                     \"pid\":1,\"tid\":0,\"args\":{\"span_id\":1}}]}";
+        let err = check_chrome_trace(torn).unwrap_err();
+        assert!(err.contains("no dur"), "{err}");
     }
 
     #[test]

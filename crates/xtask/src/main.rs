@@ -1,10 +1,15 @@
 //! `cargo xtask <task>` — workspace development tasks.
 //!
-//! Currently one task: `lint`, the source-level convention linter (see
-//! the library docs for the rule list).
+//! * `lint` — the source-level convention linter (see the library docs
+//!   for the rule list);
+//! * `check-trace <file>` — validate a `DLS_TRACE=chrome:<path>` export
+//!   (parses the JSON, checks the event schema, and requires the solve
+//!   spans to nest under their `par_map` item parents).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+const USAGE: &str = "available tasks:\n  lint                       run the source-level convention linter\n  check-trace <trace.json>   validate a DLS_TRACE=chrome: export";
 
 fn workspace_root() -> PathBuf {
     // crates/xtask -> crates -> workspace root.
@@ -59,12 +64,43 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("check-trace") => {
+            let Some(path) = args.next() else {
+                eprintln!("usage: cargo xtask check-trace <trace.json>");
+                return ExitCode::FAILURE;
+            };
+            let doc = match std::fs::read_to_string(&path) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    eprintln!("xtask check-trace: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match xtask::check_chrome_trace(&doc) {
+                Ok(check) => {
+                    println!(
+                        "xtask check-trace: OK — {} events ({} spans, {} instants), \
+                         {} par_map items, {} solve spans nested under them ({path})",
+                        check.events,
+                        check.complete,
+                        check.instants,
+                        check.par_map_items,
+                        check.nested_solves
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("xtask check-trace: FAIL — {e} ({path})");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some(other) => {
-            eprintln!("unknown task: {other}\n\navailable tasks:\n  lint    run the source-level convention linter");
+            eprintln!("unknown task: {other}\n\n{USAGE}");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask <task>\n\navailable tasks:\n  lint    run the source-level convention linter");
+            eprintln!("usage: cargo xtask <task>\n\n{USAGE}");
             ExitCode::FAILURE
         }
     }

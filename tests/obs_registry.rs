@@ -73,4 +73,30 @@ fn solve_scenario_populates_the_advertised_metrics_on_both_engines() {
             .any(|(name, _)| name.starts_with("lp_model.solve.key_")),
         "no per-key latency histogram recorded"
     );
+
+    // The solve path emits a causal trace tree alongside the histograms:
+    // the scenario root must exist and the engine phases must nest (by
+    // parent id, transitively) under it.
+    let events = dls::obs::trace_events();
+    let root = events
+        .iter()
+        .find(|e| e.name == "core.solve_scenario.seconds")
+        .expect("solve_scenario records a root trace span");
+    assert!(root.parent_id.is_none(), "scenario span is a trace root");
+    assert!(
+        events
+            .iter()
+            .filter(|e| e.name == "lp_model.solve.seconds")
+            .any(|e| e.trace_id == root.trace_id),
+        "lp_model.solve spans join the scenario's trace"
+    );
+
+    // The registry never silently drops registrations in a normal run: a
+    // nonzero count means the name table overflowed and the inventory
+    // above is incomplete — fail loudly.
+    assert_eq!(
+        snap.dropped, 0,
+        "registry dropped {} registrations; summary data is incomplete",
+        snap.dropped
+    );
 }
