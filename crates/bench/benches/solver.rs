@@ -134,8 +134,7 @@ fn bench_pivot_rules(c: &mut Criterion) {
             let opts = SolverOptions {
                 max_iterations: 1_000_000,
                 bland_after: 0,
-                refactor_every: 48,
-                candidate_list: 0,
+                ..SolverOptions::for_size(lp.num_vars(), lp.num_constraints())
             };
             black_box(solve_with::<f64>(&lp, &opts).unwrap().iterations)
         })
@@ -172,6 +171,41 @@ fn time_cold_ns(p: usize, runs: usize) -> f64 {
     best
 }
 
+/// Times one cold *tableau* solve at worker count `p` — the reference side
+/// of the cold revised/tableau ratio gates.
+fn time_cold_tableau_ns(p: usize, runs: usize) -> f64 {
+    let (_, lp) = fifo_lp(p, 7);
+    let opts = SolverOptions::for_size(lp.num_vars(), lp.num_constraints());
+    black_box(solve_with::<f64>(&lp, &opts).unwrap());
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t = std::time::Instant::now();
+        black_box(solve_with::<f64>(&lp, &opts).unwrap());
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// Times a refactorization-heavy cold revised solve (`refactor_every = 1`
+/// rebuilds the sparse LU on every pivot) — the dedicated measurement of
+/// factorization cost behind the `p128_sparse_lu_ns` gate, insulated from
+/// pricing/ratio-test noise dominating the default-cadence solve.
+fn time_sparse_lu_ns(p: usize, runs: usize) -> f64 {
+    let (_, lp) = fifo_lp(p, 7);
+    let opts = SolverOptions {
+        refactor_every: 1,
+        ..SolverOptions::for_size(lp.num_vars(), lp.num_constraints())
+    };
+    black_box(solve_revised_with::<f64>(&lp, &opts, None).unwrap());
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t = std::time::Instant::now();
+        black_box(solve_revised_with::<f64>(&lp, &opts, None).unwrap());
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--smoke") {
         let baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/benches/solver_baseline.json");
@@ -185,6 +219,31 @@ fn main() {
             "p256_revised_ns",
             "p=256 revised cold solve",
             |runs| time_cold_ns(256, runs),
+        );
+        // Factorization-heavy solve: times the sparse LU itself by
+        // refactorizing on every pivot.
+        dls_bench::smoke::run_gate(
+            baseline,
+            "p128_sparse_lu_ns",
+            "p=128 sparse LU refactor-heavy solve",
+            |runs| time_sparse_lu_ns(128, runs),
+        );
+        // The sparse-LU tentpole win, pinned as same-machine ratios: a
+        // cold revised solve must beat the cold tableau at p >= 128
+        // (ratio gates read the max allowed ratio from the baseline).
+        dls_bench::smoke::run_ratio_gate(
+            baseline,
+            "p128_cold_ratio",
+            "p=128 cold revised vs tableau",
+            |runs| time_cold_ns(128, runs),
+            |runs| time_cold_tableau_ns(128, runs),
+        );
+        dls_bench::smoke::run_ratio_gate(
+            baseline,
+            "p256_cold_ratio",
+            "p=256 cold revised vs tableau",
+            |runs| time_cold_ns(256, runs),
+            |runs| time_cold_tableau_ns(256, runs),
         );
         return;
     }

@@ -151,6 +151,51 @@ pub fn run_gate(
     }
 }
 
+/// Runs one *ratio* smoke gate: measures two operations on this machine
+/// and asserts `measure(runs) / measure_ref(runs) <= baseline_key` (the
+/// baseline value is the maximum allowed ratio, not a time). Both sides
+/// run on the same machine in the same process, so no speed normalization
+/// applies — the history record carries `calibration_ns = 0` to mark the
+/// ratio as same-machine.
+///
+/// This is how the solver gate pins *relative* wins (e.g. "cold revised
+/// beats the tableau": ratio ≤ 1.0) that an absolute-time gate with a 2x
+/// regression allowance could never express.
+pub fn run_ratio_gate(
+    baseline_path: &str,
+    baseline_key: &str,
+    label: &str,
+    measure: impl FnOnce(usize) -> f64,
+    measure_ref: impl FnOnce(usize) -> f64,
+) {
+    let doc = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {baseline_path}: {e}"));
+    let max_ratio = json_number(&doc, baseline_key)
+        .unwrap_or_else(|| panic!("baseline JSON missing {baseline_key}"));
+    let measured_ns = measure(5);
+    let reference_ns = measure_ref(5);
+    let ratio = measured_ns / reference_ns;
+    append_history(label, baseline_key, ratio, 0.0, measured_ns);
+    println!(
+        "smoke: {label} {:.2} ms vs reference {:.2} ms (ratio {ratio:.3}, gate {max_ratio:.2})",
+        measured_ns / 1e6,
+        reference_ns / 1e6
+    );
+    if ratio > max_ratio {
+        eprintln!(
+            "smoke: FAIL — {label} is {ratio:.3}x the reference on this machine, \
+             above the {max_ratio:.2} gate"
+        );
+        std::process::exit(1);
+    }
+    println!("smoke: OK");
+    if !matches!(dls_obs::mode(), dls_obs::Mode::Disabled) {
+        dls_obs::gauge!("smoke.measured_ns").set(measured_ns);
+        dls_obs::gauge!("smoke.normalized_ratio").set(ratio);
+        dls_obs::emit(&format!("smoke:{label}"));
+    }
+}
+
 /// Appends one machine-normalized measurement record to the bench history
 /// log, one JSON object per line, so CI runs archived across commits give
 /// a per-gate trend that is comparable between machines (the ratio is

@@ -21,6 +21,22 @@ use crate::error::LpError;
 use crate::problem::{Problem, Relation, Sense, VarId};
 use crate::scalar::Scalar;
 
+/// Basis-inverse representation used by the revised solver.
+///
+/// The sparse LU is the production default: Markowitz-ordered sparse
+/// factors with Forrest–Tomlin row-eta updates, refactorizing when the
+/// update file or fill-in grows past its caps. The dense Gauss-Jordan
+/// inverse (the original implementation) is kept as a cross-check oracle
+/// — the dense-vs-sparse property tests pin both paths to identical
+/// pivots — and as a debugging fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BasisFactorization {
+    /// Sparse LU with Markowitz pivoting and Forrest–Tomlin updates.
+    SparseLu,
+    /// Dense explicit inverse with a dense eta file (oracle path).
+    Dense,
+}
+
 /// Tunable solver parameters.
 #[derive(Debug, Clone)]
 pub struct SolverOptions {
@@ -29,8 +45,8 @@ pub struct SolverOptions {
     /// Pivot count after which the entering rule switches from Dantzig to
     /// Bland (anti-cycling).
     pub bland_after: usize,
-    /// Eta-file length after which the revised solver rebuilds the basis
-    /// inverse from scratch (ignored by the dense tableau).
+    /// Eta/update-file length after which the revised solver rebuilds the
+    /// basis inverse from scratch (ignored by the dense tableau).
     pub refactor_every: usize,
     /// Candidate-list (partial) pricing budget for the revised solver:
     /// `0` prices every column each pivot (classic Dantzig); a positive
@@ -40,6 +56,19 @@ pub struct SolverOptions {
     /// the per-pivot pricing cost drops on wide instances. Ignored by the
     /// dense tableau and by Bland's rule.
     pub candidate_list: usize,
+    /// Basis-inverse representation for the revised solver (ignored by
+    /// the dense tableau).
+    pub factorization: BasisFactorization,
+    /// Canonical extraction for the revised solver (ignored by the dense
+    /// tableau): flush accumulated update-file drift with one final
+    /// refactorization, making the reported solution a pure function of
+    /// the final basis instead of the pivot history. A plain cold solve
+    /// is already deterministic, so this defaults off and the flush cost
+    /// stays out of the cold hot path; [`crate::BasisCache`] switches it
+    /// on because its warm starts depend on request history, and a
+    /// cache-warmed repeat must agree bitwise with the solve that
+    /// populated the cache.
+    pub canonical: bool,
 }
 
 impl SolverOptions {
@@ -47,13 +76,19 @@ impl SolverOptions {
     /// switches on for wide instances only (`dim ≥ 192`: the cold-solve
     /// regime where full Dantzig pricing starts to dominate); the paper's
     /// 11-worker LPs keep classic full pricing and bit-identical pivots.
+    /// The list width is deliberately narrow — on the scheduling LPs the
+    /// pivot count is insensitive to it (measured flat from 16 up to full
+    /// pricing at p = 128/256), so per-pivot re-pricing cost is all that
+    /// matters and the smallest measured-safe width wins.
     pub fn for_size(num_vars: usize, num_constraints: usize) -> Self {
         let dim = num_vars + num_constraints;
         SolverOptions {
             max_iterations: 2_000 + 200 * dim,
             bland_after: 200 + 20 * dim,
             refactor_every: 48,
-            candidate_list: if dim >= 192 { (dim / 8).max(32) } else { 0 },
+            candidate_list: if dim >= 192 { 16 } else { 0 },
+            factorization: BasisFactorization::SparseLu,
+            canonical: false,
         }
     }
 }
@@ -283,10 +318,17 @@ impl<S: Scalar> Tableau<S> {
     }
 }
 
-/// One standardized row: dense structural coefficients, relation, rhs, plus
-/// bookkeeping for dual-sign recovery.
+/// One standardized row: sparse structural coefficients, relation, rhs,
+/// plus bookkeeping for dual-sign recovery.
 pub(crate) struct StdRow<S> {
-    pub coeffs: Vec<S>,
+    /// Distinct structural indices with nonzero coefficients (first-touch
+    /// order, not sorted) — the scheduling rows are sparse, and both
+    /// engines assemble their working matrices from this list instead of
+    /// a dense row vector.
+    pub nz: Vec<usize>,
+    /// Coefficient values parallel to `nz` (duplicate input indices
+    /// already summed, rhs-flip already applied).
+    pub nzv: Vec<S>,
     pub relation: Relation,
     pub rhs: S,
     /// `true` when the row was negated to make its rhs non-negative.
@@ -318,34 +360,59 @@ pub(crate) fn standardize<S: Scalar>(problem: &Problem) -> StandardForm<S> {
         })
         .collect();
 
-    let rows = problem
-        .dense_rows()
-        .into_iter()
-        .map(|(coeffs, relation, rhs)| {
-            let mut coeffs: Vec<S> = coeffs.into_iter().map(S::from_f64).collect();
-            let mut rhs = S::from_f64(rhs);
-            let mut relation = relation;
-            let mut flipped = false;
-            if rhs.is_negative() {
-                for c in &mut coeffs {
-                    *c = -c.clone();
-                }
-                rhs = -rhs;
-                relation = match relation {
-                    Relation::Le => Relation::Ge,
-                    Relation::Ge => Relation::Le,
-                    Relation::Eq => Relation::Eq,
-                };
-                flipped = true;
+    let n = problem.num_vars();
+    // Generation-tagged dedup scratch shared across rows: `tag[i] == gen`
+    // marks index `i` as already touched by the current row (its running
+    // sum lives in `acc[i]`), without a per-row sort, clear, or dense row
+    // allocation. `nz` comes out in first-touch order, which is
+    // deterministic (constraint coefficient order is) and fine downstream —
+    // column assembly walks rows outermost, so supports stay row-major.
+    let mut tag = vec![0usize; n];
+    let mut acc = vec![S::zero(); n];
+    let mut rows = Vec::with_capacity(problem.num_constraints());
+    for (gen, con) in problem.constraints().iter().enumerate() {
+        let gen = gen + 1;
+        // Duplicate indices sum, as in `Problem::dense_rows`.
+        let mut touched: Vec<usize> = Vec::with_capacity(con.coeffs.len());
+        for &(i, c) in &con.coeffs {
+            if tag[i] != gen {
+                tag[i] = gen;
+                acc[i] = S::zero();
+                touched.push(i);
             }
-            StdRow {
-                coeffs,
-                relation,
-                rhs,
-                flipped,
+            acc[i] = acc[i].clone() + S::from_f64(c);
+        }
+        let mut rhs = S::from_f64(con.rhs);
+        let mut relation = con.relation;
+        let mut flipped = false;
+        if rhs.is_negative() {
+            for &i in &touched {
+                acc[i] = -acc[i].clone();
             }
-        })
-        .collect();
+            rhs = -rhs;
+            relation = match relation {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+            flipped = true;
+        }
+        let mut nz = Vec::with_capacity(touched.len());
+        let mut nzv = Vec::with_capacity(touched.len());
+        for &i in &touched {
+            if !acc[i].is_zero() {
+                nz.push(i);
+                nzv.push(acc[i].clone());
+            }
+        }
+        rows.push(StdRow {
+            nz,
+            nzv,
+            relation,
+            rhs,
+            flipped,
+        });
+    }
 
     StandardForm {
         rows,
@@ -393,7 +460,7 @@ pub fn solve_with<S: Scalar>(
         tol,
     };
     for (i, row) in std_form.rows.iter().enumerate() {
-        for (j, v) in row.coeffs.iter().enumerate() {
+        for (&j, v) in row.nz.iter().zip(&row.nzv) {
             t.set(i, j, v.clone());
         }
         match row.relation {
@@ -773,9 +840,7 @@ mod tests {
         p.add_constraint("c", [(x, 1.0), (y, 1.0)], Relation::Le, 1.0);
         let opts = SolverOptions {
             max_iterations: 0,
-            bland_after: 0,
-            refactor_every: 48,
-            candidate_list: 0,
+            ..SolverOptions::for_size(p.num_vars(), p.num_constraints())
         };
         assert!(matches!(
             solve_with::<f64>(&p, &opts),

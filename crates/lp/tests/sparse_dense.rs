@@ -1,0 +1,129 @@
+//! Public-API parity between the two basis representations.
+//!
+//! The sparse LU (the default) and the dense product form (kept as an
+//! oracle behind `BasisFactorization::Dense`) must be observationally
+//! identical through `solve_revised_with`: same objectives, points, duals
+//! and error verdicts on random instances, exact agreement on the
+//! rational backend, and bases portable between the two in either
+//! direction.
+
+use dls_lp::{
+    solve_revised_with, BasisFactorization, Problem, Rational, Relation, ScheduleModel,
+    SolverOptions,
+};
+use proptest::prelude::*;
+
+fn opts(p: &Problem, fact: BasisFactorization) -> SolverOptions {
+    SolverOptions {
+        factorization: fact,
+        ..SolverOptions::for_size(p.num_vars(), p.num_constraints())
+    }
+}
+
+/// Random bounded-feasible scheduling LPs through the `ScheduleModel` IR:
+/// nested-prefix deadline rows plus the dense one-port row, the structure
+/// the sparse factorization is built for.
+fn star_lp() -> impl Strategy<Value = Problem> {
+    (
+        2usize..=6,
+        prop::collection::vec(1i32..=8, 6),
+        prop::collection::vec(1i32..=8, 6),
+        prop::collection::vec(1i32..=8, 6),
+        4i32..=12,
+    )
+        .prop_map(|(p, comm, comp, obj, horizon)| {
+            let mut m = ScheduleModel::maximize();
+            let alpha = m.group("alpha", (0..p).map(|j| (format!("a{j}"), obj[j] as f64)));
+            for (i, &cw) in comp.iter().enumerate().take(p) {
+                let mut terms: Vec<_> = (0..=i).map(|j| (alpha.var(j), comm[j] as f64)).collect();
+                terms.push((alpha.var(i), cw as f64));
+                m.deadline(format!("d{i}"), terms, horizon as f64);
+            }
+            m.one_port(
+                "port",
+                (0..p).map(|j| (alpha.var(j), comm[j] as f64)),
+                horizon as f64,
+            );
+            m.lower()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Identical solutions from either factorization on the f64 backend.
+    #[test]
+    fn factorizations_agree_on_f64(p in star_lp()) {
+        let sparse = solve_revised_with::<f64>(&p, &opts(&p, BasisFactorization::SparseLu), None)
+            .expect("bounded feasible LP");
+        let dense = solve_revised_with::<f64>(&p, &opts(&p, BasisFactorization::Dense), None)
+            .expect("bounded feasible LP");
+        let scale = sparse.solution.objective.abs().max(1.0);
+        prop_assert!(
+            (sparse.solution.objective - dense.solution.objective).abs() <= 1e-7 * scale,
+            "objectives diverge: sparse {} vs dense {}",
+            sparse.solution.objective,
+            dense.solution.objective
+        );
+        for (a, b) in sparse.solution.x.iter().zip(&dense.solution.x) {
+            prop_assert!((a - b).abs() <= 1e-6 * scale);
+        }
+        for (a, b) in sparse.solution.duals.iter().zip(&dense.solution.duals) {
+            prop_assert!((a - b).abs() <= 1e-6 * scale);
+        }
+    }
+
+    /// On the exact backend the two factorizations are *identical*, not
+    /// just close: every drop test is an exact zero test, so the pivot
+    /// algebra must produce the same rational optimum.
+    #[test]
+    fn factorizations_agree_exactly_on_rational(p in star_lp()) {
+        let sparse =
+            solve_revised_with::<Rational>(&p, &opts(&p, BasisFactorization::SparseLu), None)
+                .expect("bounded feasible LP");
+        let dense =
+            solve_revised_with::<Rational>(&p, &opts(&p, BasisFactorization::Dense), None)
+                .expect("bounded feasible LP");
+        prop_assert_eq!(sparse.solution.objective, dense.solution.objective);
+        prop_assert_eq!(sparse.solution.x, dense.solution.x);
+    }
+
+    /// A basis found under one representation warm-starts the other: the
+    /// `Basis` type stays representation-agnostic.
+    #[test]
+    fn bases_are_portable_between_factorizations(p in star_lp()) {
+        let sparse_opts = opts(&p, BasisFactorization::SparseLu);
+        let dense_opts = opts(&p, BasisFactorization::Dense);
+        let from_sparse = solve_revised_with::<f64>(&p, &sparse_opts, None).expect("solve");
+        let warm_dense =
+            solve_revised_with::<f64>(&p, &dense_opts, Some(&from_sparse.basis)).expect("solve");
+        prop_assert!(warm_dense.warm_started, "optimal basis must be accepted");
+        prop_assert_eq!(warm_dense.solution.iterations, 0);
+        let from_dense = solve_revised_with::<f64>(&p, &dense_opts, None).expect("solve");
+        let warm_sparse =
+            solve_revised_with::<f64>(&p, &sparse_opts, Some(&from_dense.basis)).expect("solve");
+        prop_assert!(warm_sparse.warm_started);
+        prop_assert_eq!(warm_sparse.solution.iterations, 0);
+    }
+}
+
+/// Error verdicts are representation-independent too.
+#[test]
+fn error_verdicts_match_between_factorizations() {
+    let mut infeasible = ScheduleModel::maximize();
+    let g = infeasible.group("v", [("x".to_string(), 1.0)]);
+    infeasible.constraint("lo", [(g.var(0), 1.0)], Relation::Ge, 5.0);
+    infeasible.constraint("hi", [(g.var(0), 1.0)], Relation::Le, 3.0);
+    let infeasible = infeasible.lower();
+
+    let mut unbounded = ScheduleModel::maximize();
+    let g = unbounded.group("v", [("x".to_string(), 1.0), ("y".to_string(), 0.0)]);
+    unbounded.constraint("only-y", [(g.var(1), 1.0)], Relation::Le, 3.0);
+    let unbounded = unbounded.lower();
+
+    for p in [&infeasible, &unbounded] {
+        let sparse = solve_revised_with::<f64>(p, &opts(p, BasisFactorization::SparseLu), None);
+        let dense = solve_revised_with::<f64>(p, &opts(p, BasisFactorization::Dense), None);
+        assert_eq!(sparse.unwrap_err(), dense.unwrap_err());
+    }
+}

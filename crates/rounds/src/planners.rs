@@ -98,6 +98,12 @@ pub struct GeometricPlan {
 /// over [`GEOMETRIC_RATIOS`] and round counts `1..=rounds`, scored by the
 /// lowered-timeline makespan. Monotone non-increasing in `rounds` because
 /// the candidate set only grows.
+///
+/// On a fully pipelined platform several `(r, q)` candidates tie to float
+/// noise, so ties (relative `1e-9`) break toward *more* rounds: equal
+/// predicted makespan with smaller installments means smaller per-worker
+/// buffers — the multi-installment motivation — and the choice no longer
+/// depends on last-ulp arithmetic of the base LP solve.
 pub fn plan_geometric(platform: &Platform, rounds: usize) -> Result<GeometricPlan, CoreError> {
     check_rounds(platform, rounds)?;
     let order = planner_order(platform);
@@ -113,9 +119,12 @@ pub fn plan_geometric(platform: &Platform, rounds: usize) -> Result<GeometricPla
             let candidate =
                 RoundPlan::new(platform, order.clone(), split_by_weights(&base, &weights))?;
             evaluated += 1;
-            let better = best
-                .as_ref()
-                .is_none_or(|b| candidate.predicted_makespan() < b.predicted_makespan());
+            let better = best.as_ref().is_none_or(|b| {
+                let eps = 1e-9 * b.predicted_makespan().max(1.0);
+                candidate.predicted_makespan() < b.predicted_makespan() - eps
+                    || (candidate.predicted_makespan() <= b.predicted_makespan() + eps
+                        && candidate.rounds() > b.rounds())
+            });
             if better {
                 best = Some(candidate);
             }

@@ -992,6 +992,40 @@ fn hot(xs: &mut [f64], t: f64) {
     }
 
     #[test]
+    fn lp_core_scope_covers_every_solver_module() {
+        // The discipline rule guards the whole LP core by directory, so a
+        // new solver module (the sparse LU factorization most recently) is
+        // in scope the day it lands — pin the boundary on both sides.
+        for covered in [
+            "crates/lp/src/simplex.rs",
+            "crates/lp/src/revised.rs",
+            "crates/lp/src/sparse_lu.rs",
+            "crates/lp/src/scalar.rs",
+            "crates/core/src/lp_model.rs",
+        ] {
+            assert!(
+                lp_core_scoped(Path::new(covered)),
+                "{covered} must be in scope"
+            );
+        }
+        for outside in [
+            "crates/lp/tests/sparse_dense.rs",
+            "crates/core/src/lib.rs",
+            "crates/bench/benches/solver.rs",
+        ] {
+            assert!(
+                !lp_core_scoped(Path::new(outside)),
+                "{outside} must be out of scope"
+            );
+        }
+        // And the rule itself fires on the pivot-selection idioms the
+        // factorization must not use.
+        let src = "fn pick(a: f64, b: f64) -> bool { a.partial_cmp(&b).unwrap().is_gt() }\n";
+        let v = check_lp_core_discipline(Path::new("crates/lp/src/sparse_lu.rs"), src);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
     fn float_literal_detection_avoids_ranges_and_ints() {
         // Integer equality and range syntax are not float comparisons.
         let src = "\
